@@ -1,0 +1,68 @@
+"""Benchmark support: reduced-grid figure runs with session caching."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.common import (
+    Phases,
+    get_app,
+    get_profiles,
+)
+from repro.experiments.registry import FIGURES
+from repro.harness.experiment import ExperimentSpec, run_sweep
+from repro.metrics.report import ExperimentReport
+from repro.topology.configs import ALL_CONFIGURATIONS
+
+# Shorter-than-quick phases tuned so each figure bench finishes in
+# seconds while still reaching steady state at the reduced client counts.
+BENCH_PHASES = {"bookstore": Phases(300.0, 300.0, 5.0),
+                "auction": Phases(90.0, 120.0, 5.0)}
+
+# Reduced client grids per figure id (throughput figure ids only).
+_BENCH_GRIDS: Dict[str, Dict[str, tuple]] = {
+    "fig05": {"default": (300, 1000), "ejb": (100, 300)},
+    "fig07": {"default": (200, 700), "ejb": (60, 150)},
+    "fig09": {"default": (800, 2200), "ejb": (150, 400)},
+    "fig11": {"default": (700, 1400), "ejb": (250, 550)},
+    "fig13": {"default": (1500, 5000), "ejb": (150, 400)},
+}
+
+
+def bench_grids(figure_id: str) -> Dict[str, tuple]:
+    spec, __ = FIGURES[figure_id]
+    throughput_id = spec.throughput_figure
+    grids = _BENCH_GRIDS[throughput_id]
+    return {config.name: grids["ejb" if config.flavor == "ejb"
+                               else "default"]
+            for config in ALL_CONFIGURATIONS}
+
+
+def run_bench_figure(figure_id: str, state: dict,
+                     configurations: Optional[Tuple[str, ...]] = None) \
+        -> ExperimentReport:
+    """Run (or fetch from the session cache) a reduced figure sweep."""
+    spec, __ = FIGURES[figure_id]
+    key = (spec.throughput_figure, configurations)
+    if key in state:
+        return state[key]
+    app = get_app(spec.app_name)
+    profiles = get_profiles(spec.app_name)
+    mix = app.mix(spec.mix_name)
+    phases = BENCH_PHASES[spec.app_name]
+    grids = bench_grids(figure_id)
+    report = ExperimentReport(
+        title=spec.title + " [bench grid]",
+        workload=f"{spec.app_name}/{spec.mix_name}")
+    todo = configurations or tuple(c.name for c in ALL_CONFIGURATIONS)
+    for config in ALL_CONFIGURATIONS:
+        if config.name not in todo:
+            continue
+        base = ExperimentSpec(
+            config=config, profile=profiles[config.profile_flavor],
+            mix=mix, clients=1, ramp_up=phases.ramp_up,
+            measure=phases.measure, ramp_down=phases.ramp_down,
+            ssl_interactions=app.SSL_INTERACTIONS)
+        report.series[config.name] = run_sweep(base, grids[config.name])
+    state[key] = report
+    return report

@@ -1,0 +1,155 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation perturbs exactly one mechanism and checks that the effect
+the paper's story depends on actually comes from that mechanism.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analytic.demand import expected_demands
+from repro.analytic.mva import solve_mva
+from repro.apps.auction import AuctionApp, build_auction_database
+from repro.experiments.common import get_app, get_profiles
+from repro.harness.experiment import ExperimentSpec, run_experiment
+from repro.harness.profiles import profile_application
+from repro.middleware.servlet.ajp import AjpCosts
+from repro.topology.configs import (
+    WS_SERVLET_DB,
+    WS_SERVLET_DB_SYNC,
+    WS_SERVLET_EJB_DB,
+)
+from repro.topology.simulation import SimCosts
+
+
+def _bookstore_spec(config, flavor, mix_name, clients, sim_costs=None):
+    app = get_app("bookstore")
+    profiles = get_profiles("bookstore")
+    return ExperimentSpec(
+        config=config, profile=profiles[flavor], mix=app.mix(mix_name),
+        clients=clients, ramp_up=300, measure=300, ramp_down=5,
+        ssl_interactions=app.SSL_INTERACTIONS, sim_costs=sim_costs)
+
+
+def test_ablation_write_priority_locks(benchmark, bench_state):
+    """MyISAM gives waiting writers priority over new readers, which is
+    what lets pending writers choke the read flow under LOCK TABLES.
+    With reader-friendly (FIFO) locks the non-sync ordering mix breathes
+    noticeably easier."""
+
+    def run():
+        myisam = run_experiment(_bookstore_spec(
+            WS_SERVLET_DB, "servlet", "ordering", 2200,
+            sim_costs=SimCosts(db_write_priority=True)))
+        fifo = run_experiment(_bookstore_spec(
+            WS_SERVLET_DB, "servlet", "ordering", 2200,
+            sim_costs=SimCosts(db_write_priority=False)))
+        return myisam, fifo
+
+    myisam, fifo = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nwrite-priority locks: {myisam.throughput_ipm:.0f} ipm "
+          f"(db {100 * myisam.cpu.database:.0f}%) vs reader-friendly: "
+          f"{fifo.throughput_ipm:.0f} ipm "
+          f"(db {100 * fifo.cpu.database:.0f}%)")
+    assert fifo.throughput_ipm > 0.95 * myisam.throughput_ipm
+
+
+def test_ablation_sync_lock_granularity(benchmark, bench_state):
+    """The (sync) win depends on Java locking being *finer* than table
+    locks: per-entity container locks vs whole-table container locks."""
+
+    def run():
+        entity = run_experiment(_bookstore_spec(
+            WS_SERVLET_DB_SYNC, "servlet_sync", "ordering", 2200,
+            sim_costs=SimCosts(sync_lock_granularity="entity")))
+        table = run_experiment(_bookstore_spec(
+            WS_SERVLET_DB_SYNC, "servlet_sync", "ordering", 2200,
+            sim_costs=SimCosts(sync_lock_granularity="table")))
+        return entity, table
+
+    entity, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nentity-granular sync: {entity.throughput_ipm:.0f} ipm vs "
+          f"table-granular sync: {table.throughput_ipm:.0f} ipm")
+    assert entity.throughput_ipm > 1.1 * table.throughput_ipm
+
+
+def test_ablation_cmp_store_and_load_modes(benchmark):
+    """Field-level CMP access multiplies short queries (the paper's
+    'single value to be read or updated' behaviour) versus row-level."""
+
+    def run():
+        app_row = AuctionApp(build_auction_database())
+        pres_row, __ = app_row.deploy_ejb(store_mode="row",
+                                          load_mode="row")
+        row_profile = profile_application(app_row, pres_row, "ejb", 2)
+
+        app_field = AuctionApp(build_auction_database())
+        pres_field, __ = app_field.deploy_ejb(store_mode="field",
+                                              load_mode="field")
+        field_profile = profile_application(app_field, pres_field, "ejb", 2)
+        mix = app_row.mix("bidding")
+        row = expected_demands(WS_SERVLET_EJB_DB, row_profile, mix)
+        field = expected_demands(WS_SERVLET_EJB_DB, field_profile, mix)
+        row_q = sum(p.mean_queries() * w for (w, p) in
+                    ((mix[n], row_profile.profile(n)) for n in mix)) \
+            / sum(mix.values())
+        field_q = sum(p.mean_queries() * w for (w, p) in
+                      ((mix[n], field_profile.profile(n)) for n in mix)) \
+            / sum(mix.values())
+        return row, field, row_q, field_q
+
+    row, field, row_q, field_q = benchmark.pedantic(run, rounds=1,
+                                                    iterations=1)
+    print(f"\nCMP row-level:   {row_q:5.1f} queries/interaction, "
+          f"db demand {1000 * row.cpu_seconds['db']:.2f} ms")
+    print(f"CMP field-level: {field_q:5.1f} queries/interaction, "
+          f"db demand {1000 * field.cpu_seconds['db']:.2f} ms")
+    assert field_q > 1.5 * row_q
+    assert field.cpu_seconds["db"] > row.cpu_seconds["db"]
+
+
+def test_ablation_ipc_cost_sensitivity(benchmark):
+    """The colocated-servlet penalty is IPC: doubling the AJP per-byte
+    cost widens the PHP-vs-servlet gap, zeroing it narrows the gap."""
+
+    def run():
+        profiles = get_profiles("auction")
+        app = get_app("auction")
+        mix = app.mix("bidding")
+        out = {}
+        for label, per_byte in (("half", 45e-9), ("default", 90e-9),
+                                ("double", 180e-9)):
+            ajp = AjpCosts(per_byte=per_byte)
+            table = expected_demands(WS_SERVLET_DB, profiles["servlet"],
+                                     mix, ajp=ajp)
+            out[label] = 60.0 * table.max_throughput()
+        return out
+
+    peaks = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ncolocated-servlet saturation vs AJP per-byte cost: {peaks}")
+    assert peaks["half"] > peaks["default"] > peaks["double"]
+
+
+def test_ablation_think_time(benchmark):
+    """TPC-W's 7 s mean think time sets where the curves bend: with half
+    the think time, half the clients saturate the same server (MVA)."""
+
+    def run():
+        profiles = get_profiles("auction")
+        app = get_app("auction")
+        table = expected_demands(WS_SERVLET_DB, profiles["servlet"],
+                                 app.mix("bidding"),
+                                 ssl_interactions=app.SSL_INTERACTIONS)
+        demands = dict(table.cpu_seconds)
+        slow = solve_mva(demands, clients=600, think_time=7.0)
+        fast = solve_mva(demands, clients=300, think_time=3.5)
+        saturated = solve_mva(demands, clients=5000, think_time=7.0)
+        return slow, fast, saturated
+
+    slow, fast, saturated = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n600 clients @7s think: {slow.throughput_ipm:.0f} ipm; "
+          f"300 clients @3.5s think: {fast.throughput_ipm:.0f} ipm; "
+          f"saturation: {saturated.throughput_ipm:.0f} ipm")
+    assert slow.throughput_ipm == pytest.approx(fast.throughput_ipm,
+                                                rel=0.02)

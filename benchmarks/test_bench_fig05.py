@@ -1,0 +1,17 @@
+"""Regenerate the bookstore shopping-mix throughput (Figure 5) on a reduced bench grid."""
+
+from benchlib import run_bench_figure
+
+
+def test_bench_fig05(benchmark, bench_state):
+    """One reduced sweep of every configuration; prints the series."""
+    report = benchmark.pedantic(
+        run_bench_figure, args=("fig05", bench_state),
+        rounds=1, iterations=1)
+    print()
+    print(report.render_throughput_table())
+    peaks = report.peaks()
+    assert peaks["WsServlet-DB(sync)"].throughput_ipm > \
+        peaks["WsServlet-DB"].throughput_ipm * 0.99
+    assert peaks["Ws-Servlet-EJB-DB"].throughput_ipm == \
+        min(p.throughput_ipm for p in peaks.values())

@@ -1,0 +1,18 @@
+"""Regenerate the bookstore shopping-mix CPU utilization (Figure 6) on a reduced bench grid.
+
+Reuses the sweep cached by the fig05 bench when both run in one session.
+"""
+
+from benchlib import run_bench_figure
+
+
+def test_bench_fig06(benchmark, bench_state):
+    report = benchmark.pedantic(
+        run_bench_figure, args=("fig06", bench_state),
+        rounds=1, iterations=1)
+    print()
+    print(report.render_cpu_table())
+    peaks = report.peaks()
+    # Database-bound: every configuration saturates the DB CPU.
+    for name, peak in peaks.items():
+        assert peak.cpu.database > 0.8, name

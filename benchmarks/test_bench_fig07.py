@@ -1,0 +1,22 @@
+"""Regenerate the bookstore browsing-mix throughput (Figure 7) on a reduced bench grid."""
+
+from benchlib import run_bench_figure
+
+
+def test_bench_fig07(benchmark, bench_state):
+    """One reduced sweep of every configuration; prints the series."""
+    report = benchmark.pedantic(
+        run_bench_figure, args=("fig07", bench_state),
+        rounds=1, iterations=1)
+    print()
+    print(report.render_throughput_table())
+    peaks = report.peaks()
+    # Read-only mix: sync buys nothing; all non-EJB configs close.
+    # (The browsing mix is dominated by multi-second best-sellers
+    # aggregations, so short bench windows carry real sampling variance;
+    # the full-grid experiment tightens this spread considerably.)
+    non_ejb = [p.throughput_ipm for name, p in peaks.items()
+               if name != "Ws-Servlet-EJB-DB"]
+    assert max(non_ejb) < 1.8 * min(non_ejb)
+    assert peaks["Ws-Servlet-EJB-DB"].throughput_ipm == \
+        min(p.throughput_ipm for p in peaks.values())

@@ -1,0 +1,25 @@
+"""Regenerate the bookstore browsing-mix CPU utilization (Figure 8) on a reduced bench grid.
+
+Reuses the sweep cached by the fig07 bench when both run in one session.
+"""
+
+from benchlib import run_bench_figure
+
+
+def test_bench_fig08(benchmark, bench_state):
+    report = benchmark.pedantic(
+        run_bench_figure, args=("fig08", bench_state),
+        rounds=1, iterations=1)
+    print()
+    print(report.render_cpu_table())
+    peaks = report.peaks()
+    for name, peak in peaks.items():
+        assert peak.cpu.web_server < 0.55, name
+        if name == "Ws-Servlet-EJB-DB":
+            # The CMP flood loads the back end: database and EJB server
+            # are both heavily loaded and one of them is saturated
+            # (which one shows as hotter fluctuates in short windows).
+            assert peak.cpu.database > 0.6
+            assert max(peak.cpu.database, peak.cpu.ejb_server) > 0.9
+        else:
+            assert peak.cpu.database > 0.8, name

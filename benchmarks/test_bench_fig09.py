@@ -1,0 +1,16 @@
+"""Regenerate the bookstore ordering-mix throughput (Figure 9) on a reduced bench grid."""
+
+from benchlib import run_bench_figure
+
+
+def test_bench_fig09(benchmark, bench_state):
+    """One reduced sweep of every configuration; prints the series."""
+    report = benchmark.pedantic(
+        run_bench_figure, args=("fig09", bench_state),
+        rounds=1, iterations=1)
+    print()
+    print(report.render_throughput_table())
+    peaks = report.peaks()
+    # Strongest lock contention: sync clearly beats non-sync.
+    assert peaks["WsServlet-DB(sync)"].throughput_ipm > \
+        1.1 * peaks["WsServlet-DB"].throughput_ipm

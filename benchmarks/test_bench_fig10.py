@@ -1,0 +1,19 @@
+"""Regenerate the bookstore ordering-mix CPU utilization (Figure 10) on a reduced bench grid.
+
+Reuses the sweep cached by the fig09 bench when both run in one session.
+"""
+
+from benchlib import run_bench_figure
+
+
+def test_bench_fig10(benchmark, bench_state):
+    report = benchmark.pedantic(
+        run_bench_figure, args=("fig10", bench_state),
+        rounds=1, iterations=1)
+    print()
+    print(report.render_cpu_table())
+    peaks = report.peaks()
+    # Lock contention caps non-sync DB utilization; sync runs hotter.
+    assert peaks["WsServlet-DB(sync)"].cpu.database > \
+        peaks["WsServlet-DB"].cpu.database
+    assert peaks["WsServlet-DB"].cpu.database < 0.9

@@ -1,0 +1,19 @@
+"""Regenerate the auction bidding-mix throughput (Figure 11) on a reduced bench grid."""
+
+from benchlib import run_bench_figure
+
+
+def test_bench_fig11(benchmark, bench_state):
+    """One reduced sweep of every configuration; prints the series."""
+    report = benchmark.pedantic(
+        run_bench_figure, args=("fig11", bench_state),
+        rounds=1, iterations=1)
+    print()
+    print(report.render_throughput_table())
+    peaks = report.peaks()
+    assert peaks["WsPhp-DB"].throughput_ipm > \
+        peaks["WsServlet-DB"].throughput_ipm
+    assert peaks["Ws-Servlet-DB"].throughput_ipm > \
+        peaks["WsPhp-DB"].throughput_ipm
+    assert peaks["Ws-Servlet-EJB-DB"].throughput_ipm == \
+        min(p.throughput_ipm for p in peaks.values())

@@ -1,0 +1,20 @@
+"""Regenerate the auction bidding-mix CPU utilization (Figure 12) on a reduced bench grid.
+
+Reuses the sweep cached by the fig11 bench when both run in one session.
+"""
+
+from benchlib import run_bench_figure
+
+
+def test_bench_fig12(benchmark, bench_state):
+    report = benchmark.pedantic(
+        run_bench_figure, args=("fig12", bench_state),
+        rounds=1, iterations=1)
+    print()
+    print(report.render_cpu_table())
+    peaks = report.peaks()
+    # Front-end bound: generator CPU saturates, DB never does.
+    assert peaks["WsPhp-DB"].cpu.web_server > 0.85
+    assert peaks["Ws-Servlet-EJB-DB"].cpu.ejb_server > 0.85
+    for name, peak in peaks.items():
+        assert peak.cpu.database < 0.9, name

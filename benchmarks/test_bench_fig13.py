@@ -1,0 +1,18 @@
+"""Regenerate the auction browsing-mix throughput (Figure 13) on a reduced bench grid."""
+
+from benchlib import run_bench_figure
+
+
+def test_bench_fig13(benchmark, bench_state):
+    """One reduced sweep of every configuration; prints the series."""
+    report = benchmark.pedantic(
+        run_bench_figure, args=("fig13", bench_state),
+        rounds=1, iterations=1)
+    print()
+    print(report.render_throughput_table())
+    peaks = report.peaks()
+    assert peaks["WsPhp-DB"].throughput_ipm > \
+        1.1 * peaks["WsServlet-DB"].throughput_ipm
+    assert peaks["Ws-Servlet-DB"].throughput_ipm == \
+        max(p.throughput_ipm for name, p in peaks.items()
+            if name != "Ws-Servlet-DB(sync)")

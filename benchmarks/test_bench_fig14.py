@@ -1,0 +1,17 @@
+"""Regenerate the auction browsing-mix CPU utilization (Figure 14) on a reduced bench grid.
+
+Reuses the sweep cached by the fig13 bench when both run in one session.
+"""
+
+from benchlib import run_bench_figure
+
+
+def test_bench_fig14(benchmark, bench_state):
+    report = benchmark.pedantic(
+        run_bench_figure, args=("fig14", bench_state),
+        rounds=1, iterations=1)
+    print()
+    print(report.render_cpu_table())
+    peaks = report.peaks()
+    assert peaks["WsPhp-DB"].cpu.web_server > 0.8
+    assert peaks["Ws-Servlet-EJB-DB"].cpu.ejb_server > 0.85

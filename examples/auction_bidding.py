@@ -1,0 +1,60 @@
+"""Reproduce the headline auction result (Figures 11/12, bidding mix):
+the front-end is the bottleneck, so PHP beats co-located servlets, a
+dedicated servlet machine beats both, and EJB trails everything with
+its server CPU pinned.
+
+Run:  python examples/auction_bidding.py
+"""
+
+from repro.apps.auction import AuctionApp, build_auction_database
+from repro.harness.experiment import ExperimentSpec, run_experiment
+from repro.harness.profiles import profile_application
+from repro.topology.configs import (
+    WS_PHP_DB,
+    WS_SEP_SERVLET_DB,
+    WS_SERVLET_DB,
+    WS_SERVLET_EJB_DB,
+)
+
+
+def main():
+    print("Building the auction site and characterizing the workload...")
+    app = AuctionApp(build_auction_database())
+    php = profile_application(app, app.deploy_php(), "php", 3)
+    servlet = profile_application(app, app.deploy_servlet(), "servlet", 3)
+    presentation, __ = app.deploy_ejb()
+    ejb = profile_application(app, presentation, "ejb", 2)
+    mix = app.mix("bidding")
+
+    runs = (
+        (WS_PHP_DB, php, 1400),
+        (WS_SERVLET_DB, servlet, 1400),
+        (WS_SEP_SERVLET_DB, servlet, 1600),
+        (WS_SERVLET_EJB_DB, ejb, 550),
+    )
+    print(f"\n{'configuration':<22} {'clients':>8} {'ipm':>8} "
+          f"{'bottleneck':>24}")
+    for config, profile, clients in runs:
+        spec = ExperimentSpec(
+            config=config, profile=profile, mix=mix, clients=clients,
+            ramp_up=120, measure=180, ramp_down=10,
+            ssl_interactions=app.SSL_INTERACTIONS)
+        point = run_experiment(spec)
+        cpu = point.cpu
+        candidates = {"web server": cpu.web_server,
+                      "database": cpu.database}
+        if cpu.servlet_container is not None:
+            candidates["servlet container"] = cpu.servlet_container
+        if cpu.ejb_server is not None:
+            candidates["EJB server"] = cpu.ejb_server
+        busiest = max(candidates, key=candidates.get)
+        print(f"{config.name:<22} {clients:>8} "
+              f"{point.throughput_ipm:>8.0f} "
+              f"{busiest:>18} {100 * candidates[busiest]:>4.0f}%")
+    print("\nPaper reference (peaks): WsPhp-DB 9,780 ipm; WsServlet-DB "
+          "7,380; Ws-Servlet-DB 10,440; Ws-Servlet-EJB-DB 4,136 with the "
+          "EJB server CPU at 99%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""TPC-W response-time constraints: find the valid operating range.
+
+TPC-W does not just ask for throughput -- clause 5.1 requires 90% of
+each interaction type to complete within per-type limits (3-20 s).  This
+example runs the bookstore shopping mix at increasing client counts and
+shows where the sync-servlet configuration stops being WIRT-compliant:
+the peak-throughput point the paper reports sits near the edge of the
+compliant region, and the overloaded region past it (where throughput
+curves flatten or fall) would not count as a valid TPC-W result.
+
+Run:  python examples/wirt_compliance.py
+"""
+
+from repro.apps.bookstore import BookstoreApp, build_bookstore_database
+from repro.harness.experiment import ExperimentSpec, run_experiment
+from repro.harness.profiles import profile_application
+from repro.metrics.wirt import BOOKSTORE_WIRT_LIMITS
+from repro.topology.configs import WS_SERVLET_DB_SYNC
+
+
+def main():
+    print("Building the bookstore and characterizing the workload...")
+    app = BookstoreApp(build_bookstore_database())
+    profile = profile_application(
+        app, app.deploy_servlet(sync_locking=True), "servlet_sync", 3)
+    mix = app.mix("shopping")
+
+    print(f"\n{'clients':>8} {'ipm':>8} {'mean RT':>9} {'WIRT':>16}")
+    last_report = None
+    for clients in (50, 150, 300, 600, 1200):
+        spec = ExperimentSpec(
+            config=WS_SERVLET_DB_SYNC, profile=profile, mix=mix,
+            clients=clients, ramp_up=300, measure=400, ramp_down=10,
+            ssl_interactions=app.SSL_INTERACTIONS,
+            wirt_limits=BOOKSTORE_WIRT_LIMITS)
+        point = run_experiment(spec)
+        status = "compliant" if point.wirt.compliant else \
+            f"{len(point.wirt.violations())} violations"
+        print(f"{clients:>8} {point.throughput_ipm:>8.0f} "
+              f"{point.mean_response_time:>8.1f}s {status:>16}")
+        last_report = point.wirt
+
+    print("\nConstraint detail at the last (overloaded) point:")
+    print(last_report.render())
+
+
+if __name__ == "__main__":
+    main()

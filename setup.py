@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+``pip install -e .`` uses the PEP 517 path, which needs the ``wheel``
+package; on offline machines without it, ``python setup.py develop``
+installs the same editable package through setuptools' legacy path.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

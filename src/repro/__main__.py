@@ -1,0 +1,90 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+figures              list the reproducible figures
+run FIG [--full]     regenerate one figure (e.g. ``run fig05``)
+calibrate            print analytic saturation points vs paper targets
+bboard [--full]      run the bulletin-board extension experiment
+version              print the package version
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_figures(__args) -> int:
+    from repro.experiments.registry import FIGURES
+    print("figure  kind        workload")
+    for figure_id in sorted(FIGURES):
+        spec, kind = FIGURES[figure_id]
+        print(f"{figure_id}   {kind:<10}  {spec.app_name}/{spec.mix_name}")
+    print("\nrun one with:  python -m repro run fig05 [--full]")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments.registry import FIGURES, render_figure
+    if args.figure not in FIGURES:
+        print(f"unknown figure {args.figure!r}; try 'python -m repro "
+              f"figures'", file=sys.stderr)
+        return 2
+    print(render_figure(args.figure, full=args.full))
+    return 0
+
+
+def _cmd_calibrate(__args) -> int:
+    from repro.harness.calibrate import calibration_report
+    print(calibration_report())
+    return 0
+
+
+def _cmd_bboard(args) -> int:
+    from repro.experiments.ext_bboard import render
+    print(render(full=args.full))
+    return 0
+
+
+def _cmd_version(__args) -> int:
+    import repro
+    print(repro.__version__)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Cecchet et al., Middleware 2003")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="list reproducible figures") \
+        .set_defaults(func=_cmd_figures)
+
+    run = sub.add_parser("run", help="regenerate one figure")
+    run.add_argument("figure", help="figure id, e.g. fig05")
+    run.add_argument("--full", action="store_true",
+                     help="paper-scale grid")
+    run.set_defaults(func=_cmd_run)
+
+    sub.add_parser("calibrate", help="analytic demands vs paper targets") \
+        .set_defaults(func=_cmd_calibrate)
+
+    bboard = sub.add_parser("bboard",
+                            help="bulletin-board extension experiment")
+    bboard.add_argument("--full", action="store_true")
+    bboard.set_defaults(func=_cmd_bboard)
+
+    sub.add_parser("version", help="print version") \
+        .set_defaults(func=_cmd_version)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+"""Operational bounds analysis for closed networks.
+
+Asymptotic bounds (Denning & Buzen) complement MVA: from nothing but
+the service demands they bracket every possible throughput curve,
+
+    X(N) <= min(N / (Z + R0), 1 / Dmax)
+    X(N) >= N / (Z + N * R0)            (pessimistic, no overlap)
+
+with ``R0 = sum of demands``, ``Dmax`` the bottleneck demand and ``Z``
+the think time, and they locate the knee population
+
+    N* = (Z + R0) / Dmax
+
+-- the client count where a configuration *must* start saturating.  The
+paper's figures bend exactly there (e.g. WsPhp-DB on the auction
+bidding mix has N* near the 1,100 clients at which it peaks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class BoundsPoint:
+    clients: int
+    lower: float           # interactions/second
+    upper: float
+
+
+@dataclass(frozen=True)
+class OperationalBounds:
+    """Bounds derived from demands + think time."""
+
+    demands: Dict[str, float]
+    think_time: float
+
+    @property
+    def total_demand(self) -> float:
+        return sum(self.demands.values())
+
+    @property
+    def bottleneck_demand(self) -> float:
+        return max(self.demands.values())
+
+    @property
+    def bottleneck(self) -> str:
+        return max(self.demands, key=self.demands.get)
+
+    @property
+    def saturation_throughput(self) -> float:
+        """1 / Dmax, in interactions per second."""
+        return 1.0 / self.bottleneck_demand
+
+    @property
+    def knee_population(self) -> float:
+        """N*: the population where the two upper bounds cross."""
+        return (self.think_time + self.total_demand) / \
+            self.bottleneck_demand
+
+    def upper(self, clients: int) -> float:
+        return min(clients / (self.think_time + self.total_demand),
+                   self.saturation_throughput)
+
+    def lower(self, clients: int) -> float:
+        return clients / (self.think_time + clients * self.total_demand)
+
+    def curve(self, client_counts) -> List[BoundsPoint]:
+        return [BoundsPoint(n, self.lower(n), self.upper(n))
+                for n in sorted(client_counts)]
+
+
+def bounds_for(table, think_time: float = 7.0) -> OperationalBounds:
+    """Bounds from a :class:`~repro.analytic.demand.DemandTable`."""
+    if not table.cpu_seconds:
+        raise ValueError("demand table has no CPU demands")
+    if think_time < 0:
+        raise ValueError("think time must be >= 0")
+    return OperationalBounds(demands=dict(table.cpu_seconds),
+                             think_time=think_time)

@@ -1,0 +1,1 @@
+"""The two benchmark applications: online bookstore and auction site."""

@@ -1,0 +1,21 @@
+"""Auction site benchmark (RUBiS-style).
+
+Nine tables, twenty-six interactions, two mixes (browsing / bidding).
+Queries are short; the dynamic-content generator is the bottleneck in
+the paper's experiments with this application.
+"""
+
+from repro.apps.auction.app import AuctionApp, build_auction_database
+from repro.apps.auction.mixes import (
+    AUCTION_INTERACTIONS,
+    BIDDING_MIX,
+    BROWSING_MIX,
+)
+
+__all__ = [
+    "AuctionApp",
+    "build_auction_database",
+    "AUCTION_INTERACTIONS",
+    "BIDDING_MIX",
+    "BROWSING_MIX",
+]

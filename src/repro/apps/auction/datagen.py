@@ -1,0 +1,151 @@
+"""Auction site data generator.
+
+Scaled loading with scale-invariant per-entity relation sizes (10 bids
+per active item, ~1 comment per old auction, a constant fraction of
+buy-now sales), per the cost model's assumptions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.auction.schema import (
+    BIDS_PER_ITEM,
+    NUM_ACTIVE_ITEMS,
+    NUM_CATEGORIES,
+    NUM_OLD_ITEMS,
+    NUM_REGIONS,
+    NUM_USERS,
+    auction_schemas,
+)
+from repro.db.engine import Database
+from repro.sim.rng import RngStreams
+
+BASE_TIME = 1_000_000_000.0
+DAY = 86_400.0
+WEEK = 7 * DAY
+
+ID_TABLES = ("users", "items", "old_items", "bids", "comments", "buy_now")
+
+
+# Floors keep profiled pages full-size: search pages show up to 25
+# items per (category) page, so >= 25 * 40 * 2 items are loaded unless
+# ``tiny=True`` (fast tests).
+ITEM_FLOOR = 2_000
+USER_FLOOR = 2_000
+OLD_ITEM_FLOOR = 2_000
+
+
+def scaled_counts(scale: float, tiny: bool = False) -> dict:
+    if not 0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    item_floor = 60 if tiny else ITEM_FLOOR
+    user_floor = 200 if tiny else USER_FLOOR
+    old_floor = 100 if tiny else OLD_ITEM_FLOOR
+    return {
+        "categories": NUM_CATEGORIES,
+        "regions": NUM_REGIONS,
+        "users": max(user_floor, int(NUM_USERS * scale)),
+        "items": max(item_floor, int(NUM_ACTIVE_ITEMS * scale)),
+        "old_items": max(old_floor, int(NUM_OLD_ITEMS * scale)),
+    }
+
+
+def populate_auction(db: Database, scale: float = 0.002,
+                     rng: Optional[RngStreams] = None,
+                     tiny: bool = False) -> dict:
+    """Create the nine tables and load a coherent auction dataset."""
+    rng = rng or RngStreams(11)
+    r = rng.stream("auction.datagen")
+    for schema in auction_schemas():
+        db.create_table(schema)
+    counts = scaled_counts(scale, tiny=tiny)
+
+    for i in range(1, NUM_CATEGORIES + 1):
+        db.table("categories").insert({"name": f"CATEGORY{i:02d}"})
+    for i in range(1, NUM_REGIONS + 1):
+        db.table("regions").insert({"name": f"REGION{i:02d}"})
+
+    users = db.table("users")
+    n_users = counts["users"]
+    for i in range(1, n_users + 1):
+        users.insert({
+            "id": i, "firstname": f"Great{i}", "lastname": f"User{i}",
+            "nickname": f"user{i}", "password": f"password{i}",
+            "email": f"user{i}@auction.example",
+            "rating": r.randrange(-2, 12), "balance": 0.0,
+            "creation_date": BASE_TIME - (i % 900) * DAY,
+            "region": 1 + (i % NUM_REGIONS)})
+
+    items = db.table("items")
+    bids = db.table("bids")
+    n_items = counts["items"]
+    next_bid_id = 1
+    for i in range(1, n_items + 1):
+        nb_bids = BIDS_PER_ITEM
+        price = 10.0 + (i % 200)
+        max_bid = price + nb_bids
+        items.insert({
+            "id": i, "name": f"AUCTION ITEM {i % 400:03d} lot {i}",
+            "description": "Collectible in fine condition. " * 5,
+            "initial_price": price, "quantity": 1 + (i % 3),
+            "reserve_price": price + 5.0, "buy_now": price * 3.0,
+            "nb_of_bids": nb_bids, "max_bid": max_bid,
+            "start_date": BASE_TIME - (i % 7) * DAY,
+            "end_date": BASE_TIME + WEEK - (i % 7) * DAY,
+            "seller": 1 + (i % n_users), "category": 1 + (i % NUM_CATEGORIES)})
+        for b in range(nb_bids):
+            bids.insert({
+                "id": next_bid_id, "user_id": 1 + r.randrange(n_users),
+                "item_id": i, "qty": 1, "bid": price + b + 1,
+                "max_bid": price + b + 2,
+                "date": BASE_TIME - (nb_bids - b) * 3600.0})
+            next_bid_id += 1
+
+    old_items = db.table("old_items")
+    comments = db.table("comments")
+    buy_now = db.table("buy_now")
+    n_old = counts["old_items"]
+    next_comment_id = 1
+    next_buy_id = 1
+    for i in range(1, n_old + 1):
+        old_id = n_items + i
+        price = 8.0 + (i % 150)
+        old_items.insert({
+            "id": old_id, "name": f"SOLD ITEM {i % 400:03d} lot {i}",
+            "description": "Previously auctioned. " * 4,
+            "initial_price": price, "quantity": 1,
+            "reserve_price": price + 4.0, "buy_now": price * 3.0,
+            "nb_of_bids": BIDS_PER_ITEM, "max_bid": price + 11,
+            "start_date": BASE_TIME - (60 + i % 300) * DAY,
+            "end_date": BASE_TIME - (53 + i % 300) * DAY,
+            "seller": 1 + (i % n_users), "category": 1 + (i % NUM_CATEGORIES)})
+        if i % 20 != 0:   # 95% of transactions receive a comment
+            seller = 1 + (i % n_users)
+            comments.insert({
+                "id": next_comment_id,
+                "from_user": 1 + r.randrange(n_users), "to_user": seller,
+                "item_id": old_id, "rating": r.choice([-1, 0, 1, 1, 1]),
+                "date": BASE_TIME - (50 + i % 300) * DAY,
+                "comment": "Smooth transaction, would trade again. " * 2})
+            next_comment_id += 1
+        if i % 20 == 0:   # ~5% sold via buy-now
+            buy_now.insert({
+                "id": next_buy_id, "buyer_id": 1 + r.randrange(n_users),
+                "item_id": old_id, "qty": 1,
+                "date": BASE_TIME - (55 + i % 300) * DAY})
+            next_buy_id += 1
+
+    # Seed the id counters past the loaded data.
+    ids = db.table("ids")
+    seeds = {
+        "users": n_users, "items": n_items + n_old,
+        "old_items": n_items + n_old, "bids": next_bid_id - 1,
+        "comments": next_comment_id - 1, "buy_now": next_buy_id - 1,
+    }
+    for name in ID_TABLES:
+        ids.insert({"name": name, "value": seeds[name]})
+
+    return {name: len(db.table(name)) for name in (
+        "categories", "regions", "users", "items", "old_items", "bids",
+        "comments", "buy_now", "ids")}

@@ -1,0 +1,590 @@
+"""EJB implementation of the auction site: façades + CMP entities.
+
+Same structure as the bookstore EJB variant: stateless session beans
+capture the business logic, entity beans (one per table) generate all
+SQL, and presentation servlets format HTML from what the façades return.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.apps.auction.datagen import BASE_TIME
+from repro.apps.auction.logic import _page
+from repro.middleware.context import AppContext
+from repro.middleware.ejb import EjbContainer, SessionBean
+from repro.web.http import HttpResponse
+
+PAGE_SIZE = 25
+
+
+class AuthMixin:
+    def _auth(self, nickname: str, password: str):
+        users = self.home("users").find_by("nickname", nickname, limit=1)
+        if users and users[0].password == password:
+            return users[0]
+        return None
+
+
+class BrowseBean(SessionBean):
+    def list_categories(self) -> list:
+        return [{"id": c.id, "name": c.name}
+                for c in self.home("categories").find_all()]
+
+    def list_regions(self) -> list:
+        return [{"id": r.id, "name": r.name}
+                for r in self.home("regions").find_all()]
+
+    def region_name(self, region: int) -> str:
+        return self.home("regions").find_by_primary_key(region).name
+
+    def search_category(self, category: int, page: int = 0) -> list:
+        items = self.home("items").find_by(
+            "category", category, order_by="end_date",
+            limit=PAGE_SIZE * (page + 1))
+        out = []
+        for item in items[page * PAGE_SIZE:]:
+            if item.end_date < BASE_TIME:
+                continue
+            out.append({"id": item.id, "name": item.name,
+                        "max_bid": item.max_bid,
+                        "nb_of_bids": item.nb_of_bids,
+                        "end_date": item.end_date})
+        return out
+
+    def search_region(self, category: int, region: int,
+                      page: int = 0) -> list:
+        items = self.home("items").find_by(
+            "category", category, limit=PAGE_SIZE * (page + 2))
+        users = self.home("users")
+        out = []
+        for item in items[page * PAGE_SIZE:]:
+            seller = users.find_by_primary_key(item.seller)
+            if seller.region != region or item.end_date < BASE_TIME:
+                continue
+            out.append({"id": item.id, "name": item.name,
+                        "max_bid": item.max_bid,
+                        "nb_of_bids": item.nb_of_bids,
+                        "end_date": item.end_date})
+        return out
+
+
+class ViewBean(SessionBean):
+    def _find_item(self, item_id: int):
+        try:
+            return self.home("items").find_by_primary_key(item_id), False
+        except KeyError:
+            pass
+        try:
+            return self.home("old_items").find_by_primary_key(item_id), True
+        except KeyError:
+            return None, True
+
+    def view_item(self, item_id: int):
+        item, ended = self._find_item(item_id)
+        if item is None:
+            return None
+        seller = self.home("users").find_by_primary_key(item.seller)
+        return {"name": item.name, "description": item.description,
+                "initial_price": item.initial_price,
+                "quantity": item.quantity, "buy_now": item.buy_now,
+                "nb_of_bids": item.nb_of_bids, "max_bid": item.max_bid,
+                "end_date": item.end_date, "ended": ended,
+                "seller_nick": seller.nickname,
+                "seller_rating": seller.rating}
+
+    def view_user(self, user_id: int):
+        try:
+            user = self.home("users").find_by_primary_key(user_id)
+        except KeyError:
+            return None
+        comments = self.home("comments").find_by(
+            "to_user", user_id, order_by="date", descending=True, limit=10)
+        users = self.home("users")
+        rows = []
+        for c in comments:
+            author = users.find_by_primary_key(c.from_user)
+            rows.append({"rating": c.rating, "date": c.date,
+                         "comment": c.comment, "from": author.nickname})
+        return {"nickname": user.nickname, "firstname": user.firstname,
+                "lastname": user.lastname, "rating": user.rating,
+                "comments": rows}
+
+    def bid_history(self, item_id: int) -> list:
+        bids = self.home("bids").find_by(
+            "item_id", item_id, order_by="date", descending=True)
+        users = self.home("users")
+        out = []
+        for bid in bids:
+            bidder = users.find_by_primary_key(bid.user_id)
+            out.append({"bidder": bidder.nickname, "bid": bid.bid,
+                        "qty": bid.qty, "date": bid.date})
+        return out
+
+
+class BidBean(AuthMixin, SessionBean):
+    def put_bid(self, nickname: str, password: str, item_id: int):
+        user = self._auth(nickname, password)
+        if user is None:
+            return None
+        try:
+            item = self.home("items").find_by_primary_key(item_id)
+        except KeyError:
+            return None
+        return {"name": item.name, "max_bid": item.max_bid,
+                "nb_of_bids": item.nb_of_bids}
+
+    def store_bid(self, nickname: str, password: str, item_id: int,
+                  bid: float, max_bid: float, qty: int):
+        user = self._auth(nickname, password)
+        if user is None:
+            return {"ok": False, "reason": "auth"}
+        try:
+            item = self.home("items").find_by_primary_key(item_id)
+        except KeyError:
+            return {"ok": False, "reason": "gone"}
+        if bid <= (item.max_bid or 0.0):
+            return {"ok": False, "reason": "low"}
+        self.home("bids").create(
+            id=self._next_id("bids"), user_id=user.id, item_id=item_id,
+            qty=qty, bid=bid, max_bid=max_bid, date=BASE_TIME)
+        item.nb_of_bids = item.nb_of_bids + 1
+        item.max_bid = bid
+        return {"ok": True}
+
+    def _next_id(self, counter: str) -> int:
+        rows = self.home("ids").find_by("name", counter, limit=1)
+        counter_bean = rows[0]
+        counter_bean.value = counter_bean.value + 1
+        return counter_bean.value
+
+
+class TradeBean(AuthMixin, SessionBean):
+    """Buy-now, comments, selling, registration."""
+
+    def _next_id(self, counter: str) -> int:
+        rows = self.home("ids").find_by("name", counter, limit=1)
+        counter_bean = rows[0]
+        counter_bean.value = counter_bean.value + 1
+        return counter_bean.value
+
+    def buy_now_view(self, nickname: str, password: str, item_id: int):
+        user = self._auth(nickname, password)
+        if user is None:
+            return None
+        try:
+            item = self.home("items").find_by_primary_key(item_id)
+        except KeyError:
+            return None
+        return {"name": item.name, "buy_now": item.buy_now,
+                "quantity": item.quantity}
+
+    def store_buy_now(self, nickname: str, password: str, item_id: int,
+                      qty: int):
+        user = self._auth(nickname, password)
+        if user is None:
+            return {"ok": False}
+        try:
+            item = self.home("items").find_by_primary_key(item_id)
+        except KeyError:
+            return {"ok": False}
+        qty = min(qty, item.quantity)
+        if qty <= 0:
+            return {"ok": False}
+        price = item.buy_now
+        self.home("buy_now").create(
+            id=self._next_id("buy_now"), buyer_id=user.id, item_id=item_id,
+            qty=qty, date=BASE_TIME)
+        remaining = item.quantity - qty
+        item.quantity = remaining
+        if remaining == 0:
+            item.end_date = BASE_TIME - 1.0
+        return {"ok": True, "qty": qty, "total": price * qty}
+
+    def comment_view(self, nickname: str, password: str, to_user: int,
+                     item_id: int):
+        user = self._auth(nickname, password)
+        if user is None:
+            return None
+        target = self.home("users").find_by_primary_key(to_user)
+        try:
+            item = self.home("old_items").find_by_primary_key(item_id)
+        except KeyError:
+            try:
+                item = self.home("items").find_by_primary_key(item_id)
+            except KeyError:
+                item = None
+        return {"target": target.nickname,
+                "item": item.name if item else "(unknown)"}
+
+    def store_comment(self, nickname: str, password: str, to_user: int,
+                      item_id: int, rating: int, text: str):
+        user = self._auth(nickname, password)
+        if user is None:
+            return {"ok": False}
+        self.home("comments").create(
+            id=self._next_id("comments"), from_user=user.id,
+            to_user=to_user, item_id=item_id, rating=rating,
+            date=BASE_TIME, comment=text)
+        target = self.home("users").find_by_primary_key(to_user)
+        target.rating = target.rating + rating
+        return {"ok": True}
+
+    def register_item(self, nickname: str, password: str, name: str,
+                      description: str, initial_price: float,
+                      quantity: int, category: int, duration: float):
+        user = self._auth(nickname, password)
+        if user is None:
+            return {"ok": False}
+        item_id = self._next_id("items")
+        self.home("items").create(
+            id=item_id, name=name, description=description,
+            initial_price=initial_price, quantity=quantity,
+            reserve_price=initial_price + 5.0, buy_now=initial_price * 3.0,
+            nb_of_bids=0, max_bid=0.0, start_date=BASE_TIME,
+            end_date=BASE_TIME + duration * 86_400.0, seller=user.id,
+            category=category)
+        return {"ok": True, "item_id": item_id}
+
+    def register_user(self, nickname: str, firstname: str, lastname: str,
+                      password: str, email: str, region_name: str):
+        taken = self.home("users").find_by("nickname", nickname, limit=1)
+        if taken:
+            return {"ok": False}
+        regions = self.home("regions").find_where(
+            "name = ?", (region_name,), limit=1)
+        region = regions[0].id if regions else 1
+        user_id = self._next_id("users")
+        self.home("users").create(
+            id=user_id, firstname=firstname, lastname=lastname,
+            nickname=nickname, password=password, email=email, rating=0,
+            balance=0.0, creation_date=BASE_TIME, region=region)
+        return {"ok": True, "user_id": user_id}
+
+    def about_me(self, nickname: str, password: str):
+        user = self._auth(nickname, password)
+        if user is None:
+            return None
+        items_home = self.home("items")
+        bids = self.home("bids").find_by("user_id", user.id, limit=20)
+        bid_rows = []
+        for bid in bids:
+            try:
+                item = items_home.find_by_primary_key(bid.item_id)
+            except KeyError:
+                continue
+            bid_rows.append({"item": bid.item_id, "name": item.name,
+                             "bid": bid.bid, "max_bid": item.max_bid,
+                             "ends": item.end_date})
+        selling = [{"item": i.id, "name": i.name, "max_bid": i.max_bid,
+                    "bids": i.nb_of_bids, "ends": i.end_date}
+                   for i in items_home.find_by("seller", user.id, limit=20)]
+        users = self.home("users")
+        comments = []
+        for c in self.home("comments").find_by("to_user", user.id,
+                                               order_by="date",
+                                               descending=True, limit=10):
+            author = users.find_by_primary_key(c.from_user)
+            comments.append({"rating": c.rating, "date": c.date,
+                             "comment": c.comment, "from": author.nickname})
+        old_home = self.home("old_items")
+        bought = []
+        for bn in self.home("buy_now").find_by("buyer_id", user.id, limit=10):
+            try:
+                item = old_home.find_by_primary_key(bn.item_id)
+            except KeyError:
+                continue
+            bought.append({"item": bn.item_id, "name": item.name,
+                           "qty": bn.qty, "date": bn.date})
+        return {"nickname": user.nickname, "firstname": user.firstname,
+                "lastname": user.lastname, "rating": user.rating,
+                "balance": user.balance, "bids": bid_rows,
+                "selling": selling, "comments": comments, "bought": bought}
+
+
+def deploy_auction_beans(container: EjbContainer) -> None:
+    container.deploy_all_entities()
+    container.deploy_session("Browse", BrowseBean)
+    container.deploy_session("View", ViewBean)
+    container.deploy_session("Bid", BidBean)
+    container.deploy_session("Trade", TradeBean)
+
+
+def ejb_presentation_pages(container: EjbContainer) \
+        -> Dict[str, Callable[[AppContext], HttpResponse]]:
+    """Presentation servlets for the 26 interactions."""
+    from repro.apps.auction import logic
+
+    # Static form pages reuse the shared implementations directly.
+    pages: Dict[str, Callable] = {
+        f"/{name}": logic.INTERACTIONS[name][0]
+        for name in logic.STATIC_INTERACTIONS}
+
+    def creds(ctx):
+        return (ctx.str_param("nickname", "user1"),
+                ctx.str_param("password", ""))
+
+    def browse_categories(ctx):
+        stub = container.lookup("Browse", trace=ctx.trace)
+        page = _page("All Categories")
+        for c in stub.list_categories():
+            page.link(f"/search_items_in_category?category={c['id']}",
+                      c["name"])
+        return ctx.respond(page)
+
+    def browse_regions(ctx):
+        stub = container.lookup("Browse", trace=ctx.trace)
+        page = _page("All Regions")
+        for r in stub.list_regions():
+            page.link(f"/browse_categories_in_region?region={r['id']}",
+                      r["name"])
+        return ctx.respond(page)
+
+    def browse_categories_in_region(ctx):
+        stub = container.lookup("Browse", trace=ctx.trace)
+        region = ctx.int_param("region", 1)
+        name = stub.region_name(region)
+        page = _page(f"Categories in {name}")
+        for c in stub.list_categories():
+            page.link(f"/search_items_in_region?category={c['id']}"
+                      f"&region={region}", c["name"])
+        return ctx.respond(page)
+
+    def search_items_in_category(ctx):
+        stub = container.lookup("Browse", trace=ctx.trace)
+        rows = stub.search_category(ctx.int_param("category", 1),
+                                    ctx.int_param("page", 0))
+        page = _page("Items in Category")
+        page.table(["id", "name", "current bid", "bids", "ends"],
+                   [(r["id"], r["name"], r["max_bid"], r["nb_of_bids"],
+                     r["end_date"]) for r in rows])
+        for r in rows:
+            page.add_image(f"/images/auction/thumb_{r['id']}.gif",
+                           alt=r["name"])
+        return ctx.respond(page)
+
+    def search_items_in_region(ctx):
+        stub = container.lookup("Browse", trace=ctx.trace)
+        rows = stub.search_region(ctx.int_param("category", 1),
+                                  ctx.int_param("region", 1),
+                                  ctx.int_param("page", 0))
+        page = _page("Items in Region")
+        page.table(["id", "name", "current bid", "bids", "ends"],
+                   [(r["id"], r["name"], r["max_bid"], r["nb_of_bids"],
+                     r["end_date"]) for r in rows])
+        for r in rows:
+            page.add_image(f"/images/auction/thumb_{r['id']}.gif",
+                           alt=r["name"])
+        return ctx.respond(page)
+
+    def view_item(ctx):
+        stub = container.lookup("View", trace=ctx.trace)
+        item_id = ctx.int_param("item_id", 1)
+        d = stub.view_item(item_id)
+        if d is None:
+            return ctx.error("item not found", status=404)
+        page = _page("View Item")
+        page.heading(d["name"])
+        page.add_image(f"/images/auction/image_{item_id}.gif", alt=d["name"])
+        page.paragraph(d["description"])
+        page.table(["initial", "quantity", "buy now", "bids",
+                    "current bid", "ends"],
+                   [(d["initial_price"], d["quantity"], d["buy_now"],
+                     d["nb_of_bids"], d["max_bid"], d["end_date"])])
+        page.paragraph(f"Seller: {d['seller_nick']} "
+                       f"(rating {d['seller_rating']})")
+        return ctx.respond(page)
+
+    def view_user_info(ctx):
+        stub = container.lookup("View", trace=ctx.trace)
+        d = stub.view_user(ctx.int_param("user_id", 1))
+        if d is None:
+            return ctx.error("user not found", status=404)
+        page = _page("User Information")
+        page.paragraph(f"{d['nickname']} ({d['firstname']} {d['lastname']}),"
+                       f" rating {d['rating']}")
+        page.table(["rating", "date", "comment", "from"],
+                   [(c["rating"], c["date"], c["comment"], c["from"])
+                    for c in d["comments"]])
+        return ctx.respond(page)
+
+    def view_bid_history(ctx):
+        stub = container.lookup("View", trace=ctx.trace)
+        rows = stub.bid_history(ctx.int_param("item_id", 1))
+        page = _page("Bid History")
+        page.table(["bidder", "bid", "qty", "date"],
+                   [(r["bidder"], r["bid"], r["qty"], r["date"])
+                    for r in rows])
+        return ctx.respond(page)
+
+    def put_bid(ctx):
+        stub = container.lookup("Bid", trace=ctx.trace)
+        nickname, password = creds(ctx)
+        d = stub.put_bid(nickname, password, ctx.int_param("item_id", 1))
+        if d is None:
+            return ctx.error("authentication failed or item gone",
+                             status=401)
+        page = _page("Place a Bid")
+        page.table(["item", "current bid", "bids"],
+                   [(d["name"], d["max_bid"], d["nb_of_bids"])])
+        page.form("/store_bid", ["item_id", "bid", "max_bid", "qty"])
+        return ctx.respond(page)
+
+    def store_bid(ctx):
+        stub = container.lookup("Bid", trace=ctx.trace)
+        nickname, password = creds(ctx)
+        d = stub.store_bid(nickname, password, ctx.int_param("item_id", 1),
+                           float(ctx.param("bid", 0.0)),
+                           float(ctx.param("max_bid", 0.0)),
+                           ctx.int_param("qty", 1))
+        if not d["ok"]:
+            status = {"auth": 401, "gone": 404, "low": 409}[d["reason"]]
+            return ctx.error("bid rejected", status=status)
+        page = _page("Bid Placed")
+        page.paragraph("Your bid is recorded.")
+        return ctx.respond(page)
+
+    def buy_now(ctx):
+        stub = container.lookup("Trade", trace=ctx.trace)
+        nickname, password = creds(ctx)
+        d = stub.buy_now_view(nickname, password,
+                              ctx.int_param("item_id", 1))
+        if d is None:
+            return ctx.error("authentication failed or item gone",
+                             status=401)
+        page = _page("Buy It Now")
+        page.table(["item", "buy-now price", "quantity"],
+                   [(d["name"], d["buy_now"], d["quantity"])])
+        page.form("/store_buy_now", ["item_id", "qty"])
+        return ctx.respond(page)
+
+    def store_buy_now(ctx):
+        stub = container.lookup("Trade", trace=ctx.trace)
+        nickname, password = creds(ctx)
+        d = stub.store_buy_now(nickname, password,
+                               ctx.int_param("item_id", 1),
+                               ctx.int_param("qty", 1))
+        if not d["ok"]:
+            return ctx.error("purchase failed", status=409)
+        page = _page("Purchase Complete")
+        page.paragraph(f"You bought {d['qty']} for {d['total']:.2f}.")
+        return ctx.respond(page)
+
+    def put_comment(ctx):
+        stub = container.lookup("Trade", trace=ctx.trace)
+        nickname, password = creds(ctx)
+        d = stub.comment_view(nickname, password,
+                              ctx.int_param("to_user", 1),
+                              ctx.int_param("item_id", 1))
+        if d is None:
+            return ctx.error("authentication failed", status=401)
+        page = _page("Leave a Comment")
+        page.paragraph(f"Comment on {d['target']} about {d['item']}")
+        page.form("/store_comment",
+                  ["to_user", "item_id", "rating", "comment"])
+        return ctx.respond(page)
+
+    def store_comment(ctx):
+        stub = container.lookup("Trade", trace=ctx.trace)
+        nickname, password = creds(ctx)
+        d = stub.store_comment(nickname, password,
+                               ctx.int_param("to_user", 1),
+                               ctx.int_param("item_id", 1),
+                               ctx.int_param("rating", 1),
+                               ctx.str_param("comment", "Great seller!"))
+        if not d["ok"]:
+            return ctx.error("authentication failed", status=401)
+        page = _page("Comment Recorded")
+        page.paragraph("Your comment is posted.")
+        return ctx.respond(page)
+
+    def select_category_to_sell(ctx):
+        stub = container.lookup("Browse", trace=ctx.trace)
+        page = _page("Select a Category")
+        for c in stub.list_categories():
+            page.link(f"/sell_item_form?category={c['id']}", c["name"])
+        return ctx.respond(page)
+
+    def register_item(ctx):
+        stub = container.lookup("Trade", trace=ctx.trace)
+        nickname, password = creds(ctx)
+        d = stub.register_item(
+            nickname, password, ctx.str_param("name", "NEW AUCTION ITEM"),
+            ctx.str_param("description", "Newly listed collectible."),
+            float(ctx.param("initial_price", 10.0)),
+            ctx.int_param("quantity", 1), ctx.int_param("category", 1),
+            float(ctx.param("duration", 7.0)))
+        if not d["ok"]:
+            return ctx.error("authentication failed", status=401)
+        page = _page("Item Listed")
+        page.paragraph(f"Item {d['item_id']} is now up for auction.")
+        return ctx.respond(page)
+
+    def register_user(ctx):
+        nickname = ctx.str_param("nickname", "")
+        if not nickname:
+            return ctx.error("nickname required", status=400)
+        stub = container.lookup("Trade", trace=ctx.trace)
+        d = stub.register_user(
+            nickname, ctx.str_param("firstname", "New"),
+            ctx.str_param("lastname", "Member"),
+            ctx.str_param("password", "secret"),
+            ctx.str_param("email", "new@auction.example"),
+            ctx.str_param("region_name", "REGION01"))
+        if not d["ok"]:
+            return ctx.error("nickname already in use", status=409)
+        page = _page("Registration Complete")
+        page.paragraph(f"Welcome aboard, {nickname} "
+                       f"(user #{d['user_id']})!")
+        return ctx.respond(page)
+
+    def about_me(ctx):
+        stub = container.lookup("Trade", trace=ctx.trace)
+        nickname, password = creds(ctx)
+        d = stub.about_me(nickname, password)
+        if d is None:
+            return ctx.error("authentication failed", status=401)
+        page = _page("About Me")
+        page.paragraph(f"{d['nickname']} ({d['firstname']} {d['lastname']}),"
+                       f" rating {d['rating']}, balance {d['balance']:.2f}")
+        page.heading("Your current bids", 3)
+        page.table(["item", "name", "your bid", "max bid", "ends"],
+                   [(b["item"], b["name"], b["bid"], b["max_bid"],
+                     b["ends"]) for b in d["bids"]])
+        page.heading("Items you are selling", 3)
+        page.table(["item", "name", "max bid", "bids", "ends"],
+                   [(s["item"], s["name"], s["max_bid"], s["bids"],
+                     s["ends"]) for s in d["selling"]])
+        page.heading("Comments about you", 3)
+        page.table(["rating", "date", "comment", "from"],
+                   [(c["rating"], c["date"], c["comment"], c["from"])
+                    for c in d["comments"]])
+        page.heading("Your buy-now purchases", 3)
+        page.table(["item", "name", "qty", "date"],
+                   [(b["item"], b["name"], b["qty"], b["date"])
+                    for b in d["bought"]])
+        return ctx.respond(page)
+
+    dynamic = {
+        "browse_categories": browse_categories,
+        "browse_regions": browse_regions,
+        "browse_categories_in_region": browse_categories_in_region,
+        "search_items_in_category": search_items_in_category,
+        "search_items_in_region": search_items_in_region,
+        "view_item": view_item,
+        "view_user_info": view_user_info,
+        "view_bid_history": view_bid_history,
+        "put_bid": put_bid,
+        "store_bid": store_bid,
+        "buy_now": buy_now,
+        "store_buy_now": store_buy_now,
+        "put_comment": put_comment,
+        "store_comment": store_comment,
+        "select_category_to_sell": select_category_to_sell,
+        "register_item": register_item,
+        "register_user": register_user,
+        "about_me": about_me,
+    }
+    for name, fn in dynamic.items():
+        pages[f"/{name}"] = fn
+    return pages

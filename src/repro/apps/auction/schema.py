@@ -1,0 +1,185 @@
+"""Auction site schema: the paper's nine tables.
+
+``users, items, old_items, bids, buy_now, comments, categories, regions,
+ids`` with the paper's sizing: ~33,000 items for sale across 40
+categories and 62 regions, 500,000 old auctions, ~10 bids per item
+(330,000 bids), 1,000,000 users, ~500,000 comments.
+
+Two of the paper's explicit design optimizations are reproduced:
+
+* the number of bids and the current maximum bid are stored redundantly
+  on each item (``nb_of_bids``, ``max_bid``) "to prevent many expensive
+  lookups on the bids table";
+* the items table is split into ``items`` (on sale) and ``old_items``
+  so browsing touches a small working set.
+
+The ``ids`` table holds per-table id counters, as in the original PHP
+implementation: inserting rows means bumping the counter inside the
+interaction's critical section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.db.schema import Column, ColumnType, IndexDef, TableSchema
+
+NUM_ACTIVE_ITEMS = 33_000
+NUM_OLD_ITEMS = 500_000
+NUM_USERS = 1_000_000
+NUM_CATEGORIES = 40
+NUM_REGIONS = 62
+BIDS_PER_ITEM = 10
+COMMENT_FRACTION = 0.95   # users comment on 95% of transactions
+BUY_NOW_FRACTION = 0.05   # <10% of items sell without an auction
+
+C = Column
+T = ColumnType
+
+
+def _item_columns() -> List[Column]:
+    return [
+        C("id", T.INT, nullable=False),
+        C("name", T.VARCHAR, byte_width=48),
+        C("description", T.TEXT),
+        C("initial_price", T.FLOAT),
+        C("quantity", T.INT),
+        C("reserve_price", T.FLOAT),
+        C("buy_now", T.FLOAT),
+        C("nb_of_bids", T.INT),
+        C("max_bid", T.FLOAT),
+        C("start_date", T.DATETIME),
+        C("end_date", T.DATETIME),
+        C("seller", T.INT),
+        C("category", T.INT),
+    ]
+
+
+def auction_schemas() -> List[TableSchema]:
+    schemas = [
+        TableSchema(
+            name="categories",
+            columns=[C("id", T.INT, nullable=False), C("name", T.VARCHAR)],
+            primary_key="id", auto_increment=True),
+        TableSchema(
+            name="regions",
+            columns=[C("id", T.INT, nullable=False), C("name", T.VARCHAR)],
+            primary_key="id", auto_increment=True),
+        TableSchema(
+            name="users",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("firstname", T.VARCHAR),
+                C("lastname", T.VARCHAR),
+                C("nickname", T.VARCHAR),
+                C("password", T.VARCHAR),
+                C("email", T.VARCHAR),
+                C("rating", T.INT),
+                C("balance", T.FLOAT),
+                C("creation_date", T.DATETIME),
+                C("region", T.INT),
+            ],
+            primary_key="id",
+            indexes=[
+                IndexDef("idx_user_nick", ("nickname",), unique=True,
+                         kind="hash"),
+                IndexDef("idx_user_region", ("region",)),
+            ]),
+        TableSchema(
+            name="items",
+            columns=_item_columns(),
+            primary_key="id",
+            indexes=[
+                IndexDef("idx_item_cat_end", ("category", "end_date")),
+                IndexDef("idx_item_seller", ("seller",)),
+                IndexDef("idx_item_end", ("end_date",)),
+            ]),
+        TableSchema(
+            name="old_items",
+            columns=_item_columns(),
+            primary_key="id",
+            indexes=[
+                IndexDef("idx_old_cat", ("category",)),
+                IndexDef("idx_old_seller", ("seller",)),
+            ]),
+        TableSchema(
+            name="bids",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("user_id", T.INT),
+                C("item_id", T.INT),
+                C("qty", T.INT),
+                C("bid", T.FLOAT),
+                C("max_bid", T.FLOAT),
+                C("date", T.DATETIME),
+            ],
+            primary_key="id",
+            indexes=[
+                IndexDef("idx_bid_item", ("item_id",)),
+                IndexDef("idx_bid_user", ("user_id",)),
+            ]),
+        TableSchema(
+            name="comments",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("from_user", T.INT),
+                C("to_user", T.INT),
+                C("item_id", T.INT),
+                C("rating", T.INT),
+                C("date", T.DATETIME),
+                C("comment", T.TEXT),
+            ],
+            primary_key="id",
+            indexes=[
+                IndexDef("idx_com_to", ("to_user",)),
+                IndexDef("idx_com_item", ("item_id",)),
+            ]),
+        TableSchema(
+            name="buy_now",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("buyer_id", T.INT),
+                C("item_id", T.INT),
+                C("qty", T.INT),
+                C("date", T.DATETIME),
+            ],
+            primary_key="id",
+            indexes=[
+                IndexDef("idx_bn_buyer", ("buyer_id",)),
+                IndexDef("idx_bn_item", ("item_id",)),
+            ]),
+        TableSchema(
+            name="ids",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("name", T.VARCHAR),
+                C("value", T.INT),
+            ],
+            primary_key="id", auto_increment=True,
+            indexes=[IndexDef("idx_ids_name", ("name",), unique=True,
+                              kind="hash")]),
+    ]
+    nominal = nominal_cardinalities()
+    for schema in schemas:
+        schema.stats.nominal_rows = nominal[schema.name]
+        if schema.name == "items":
+            schema.stats.distinct_values = {"category": NUM_CATEGORIES}
+        elif schema.name == "old_items":
+            schema.stats.distinct_values = {"category": NUM_CATEGORIES}
+        elif schema.name == "users":
+            schema.stats.distinct_values = {"region": NUM_REGIONS}
+    return schemas
+
+
+def nominal_cardinalities() -> Dict[str, int]:
+    return {
+        "categories": NUM_CATEGORIES,
+        "regions": NUM_REGIONS,
+        "users": NUM_USERS,
+        "items": NUM_ACTIVE_ITEMS,
+        "old_items": NUM_OLD_ITEMS,
+        "bids": BIDS_PER_ITEM * NUM_ACTIVE_ITEMS,
+        "comments": int(COMMENT_FRACTION * NUM_OLD_ITEMS),
+        "buy_now": int(BUY_NOW_FRACTION * NUM_OLD_ITEMS),
+        "ids": 8,
+    }

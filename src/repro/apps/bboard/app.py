@@ -1,0 +1,101 @@
+"""Bulletin-board application wiring: database + middleware deployments."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.apps.bboard.datagen import populate_bboard
+from repro.apps.bboard.ejb_app import (
+    deploy_bboard_beans,
+    ejb_presentation_pages,
+)
+from repro.apps.bboard.logic import INTERACTIONS, STATIC_INTERACTIONS
+from repro.apps.bboard import mixes
+from repro.db.engine import Database
+from repro.middleware.ejb import EjbContainer
+from repro.middleware.phpmod import PhpModule
+from repro.middleware.servlet import ServletEngine
+from repro.sim.rng import RngStreams
+from repro.web.static import StaticContentStore
+
+
+def build_bboard_database(scale: float = 0.005,
+                          rng: Optional[RngStreams] = None,
+                          tiny: bool = False) -> Database:
+    """A populated bulletin-board database at the given scale."""
+    db = Database(name="bboard")
+    populate_bboard(db, scale=scale, rng=rng, tiny=tiny)
+    return db
+
+
+class BulletinBoardApp:
+    """One bulletin-board instance: shared pages + deployments."""
+
+    name = "bboard"
+    SSL_INTERACTIONS = frozenset()
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    def shared_pages(self) -> Dict[str, object]:
+        return {f"/{name}": handler
+                for name, (handler, __) in INTERACTIONS.items()}
+
+    def deploy_php(self) -> PhpModule:
+        php = PhpModule(self.database)
+        php.register_app(self.shared_pages())
+        return php
+
+    def deploy_servlet(self, sync_locking: bool = False) -> ServletEngine:
+        engine = ServletEngine(self.database, sync_locking=sync_locking)
+        engine.register_app(self.shared_pages())
+        return engine
+
+    def deploy_ejb(self, store_mode: str = "field",
+                   load_mode: str = "row"):
+        container = EjbContainer(self.database, store_mode=store_mode,
+                                 load_mode=load_mode)
+        deploy_bboard_beans(container)
+        presentation = ServletEngine(self.database, sync_locking=False)
+        presentation.register_app(ejb_presentation_pages(container))
+        return presentation, container
+
+    def make_state(self, rng) -> mixes.BboardState:
+        return mixes.BboardState.from_database(self.database, rng)
+
+    @staticmethod
+    def mix(name: str) -> Dict[str, float]:
+        try:
+            return mixes.MIXES[name]
+        except KeyError:
+            raise KeyError(f"unknown bulletin-board mix {name!r}; "
+                           f"have {sorted(mixes.MIXES)}") from None
+
+    @staticmethod
+    def make_request(name: str, rng, state):
+        return mixes.make_request(name, rng, state)
+
+    @staticmethod
+    def choose_interaction(mix: Dict[str, float], rng) -> str:
+        from repro.workload.markov import choose_interaction
+        return choose_interaction(mix, rng)
+
+    def static_store(self) -> StaticContentStore:
+        # Slashdot-style pages: text-heavy, light art.
+        store = StaticContentStore()
+        store.register("/images/logo.gif", 2_500)
+        for name in ("home", "topics", "older", "submit"):
+            store.register(f"/images/{name}.gif", 1_200)
+        return store
+
+    @staticmethod
+    def interaction_names() -> tuple:
+        return tuple(INTERACTIONS)
+
+    @staticmethod
+    def is_read_only(name: str) -> bool:
+        return INTERACTIONS[name][1]
+
+    @staticmethod
+    def is_static(name: str) -> bool:
+        return name in STATIC_INTERACTIONS

@@ -1,0 +1,115 @@
+"""Bulletin-board data generator (scaled, per-entity sizes constant)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.bboard.schema import (
+    COMMENTS_PER_STORY,
+    NUM_ACTIVE_STORIES,
+    NUM_CATEGORIES,
+    NUM_OLD_STORIES,
+    NUM_USERS,
+    bboard_schemas,
+)
+from repro.db.engine import Database
+from repro.sim.rng import RngStreams
+
+BASE_TIME = 1_000_000_000.0
+DAY = 86_400.0
+
+STORY_FLOOR = 450     # >= 2 full pages of 20 per category
+USER_FLOOR = 1_000
+OLD_STORY_FLOOR = 1_000
+
+
+def scaled_counts(scale: float, tiny: bool = False) -> dict:
+    if not 0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    return {
+        "categories": NUM_CATEGORIES,
+        "users": max(200 if tiny else USER_FLOOR, int(NUM_USERS * scale)),
+        "stories": max(45 if tiny else STORY_FLOOR,
+                       int(NUM_ACTIVE_STORIES * scale)),
+        "old_stories": max(100 if tiny else OLD_STORY_FLOOR,
+                           int(NUM_OLD_STORIES * scale)),
+    }
+
+
+def populate_bboard(db: Database, scale: float = 0.005,
+                    rng: Optional[RngStreams] = None,
+                    tiny: bool = False) -> dict:
+    """Create the seven tables and load a coherent dataset."""
+    rng = rng or RngStreams(23)
+    r = rng.stream("bboard.datagen")
+    for schema in bboard_schemas():
+        db.create_table(schema)
+    counts = scaled_counts(scale, tiny=tiny)
+
+    for i in range(1, NUM_CATEGORIES + 1):
+        db.table("categories").insert({"name": f"TOPIC{i:02d}"})
+
+    users = db.table("users")
+    n_users = counts["users"]
+    for i in range(1, n_users + 1):
+        users.insert({
+            "nickname": f"reader{i}", "password": f"word{i}",
+            "email": f"reader{i}@bboard.example",
+            "rating": r.randrange(-3, 12),
+            "access": 1 if i % 50 == 0 else 0,   # 2% moderators
+            "creation_date": BASE_TIME - (i % 700) * DAY})
+
+    stories = db.table("stories")
+    comments = db.table("comments")
+    moderations = db.table("moderations")
+    n_stories = counts["stories"]
+    for i in range(1, n_stories + 1):
+        stories.insert({
+            "title": f"STORY HEADLINE {i % 300:03d} item {i}",
+            "body": "Breaking development in middleware research. " * 8,
+            "date": BASE_TIME - (i % 3) * DAY - (i % 97) * 600.0,
+            "author": 1 + (i % n_users),
+            "category": 1 + (i % NUM_CATEGORIES),
+            "nb_comments": COMMENTS_PER_STORY})
+        for c in range(COMMENTS_PER_STORY):
+            rowid = comments.insert({
+                "story_id": i,
+                "parent": 0 if c < 4 else 1 + r.randrange(4),
+                "author": 1 + r.randrange(n_users),
+                "subject": f"Re: story {i}",
+                "body": "Insightful commentary, surely. " * 4,
+                "date": BASE_TIME - (i % 3) * DAY + c * 60.0,
+                "rating": r.randrange(-1, 5)})
+            if (i * COMMENTS_PER_STORY + c) % 5 == 0:
+                comment_pk = comments.get_row(rowid)[0]
+                moderations.insert({
+                    "moderator": 50 * (1 + r.randrange(max(1, n_users // 50))),
+                    "comment_id": comment_pk,
+                    "vote": r.choice([-1, 1, 1]),
+                    "date": BASE_TIME})
+
+    old_stories = db.table("old_stories")
+    old_comments = db.table("old_comments")
+    n_old = counts["old_stories"]
+    for i in range(1, n_old + 1):
+        old_id = n_stories + i
+        old_stories.insert({
+            "id": old_id,
+            "title": f"ARCHIVED STORY {i % 300:03d} item {i}",
+            "body": "Yesterday's news. " * 6,
+            "date": BASE_TIME - (4 + i % 500) * DAY,
+            "author": 1 + (i % n_users),
+            "category": 1 + (i % NUM_CATEGORIES),
+            "nb_comments": COMMENTS_PER_STORY})
+        for c in range(COMMENTS_PER_STORY):
+            old_comments.insert({
+                "story_id": old_id, "parent": 0,
+                "author": 1 + r.randrange(n_users),
+                "subject": f"Re: old {i}",
+                "body": "Archival remark. " * 3,
+                "date": BASE_TIME - (4 + i % 500) * DAY,
+                "rating": r.randrange(-1, 5)})
+
+    return {name: len(db.table(name)) for name in (
+        "categories", "users", "stories", "old_stories", "comments",
+        "old_comments", "moderations")}

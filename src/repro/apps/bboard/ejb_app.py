@@ -1,0 +1,347 @@
+"""EJB implementation of the bulletin board: façades + CMP entities."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.apps.bboard.datagen import BASE_TIME
+from repro.apps.bboard.logic import _page
+from repro.middleware.context import AppContext
+from repro.middleware.ejb import EjbContainer, SessionBean
+from repro.web.http import HttpResponse
+
+PAGE_SIZE = 20
+
+
+class BoardBean(SessionBean):
+    """Read-side façade: headline lists and search."""
+
+    def _headline(self, story) -> dict:
+        return {"id": story.id, "title": story.title, "date": story.date,
+                "nb_comments": story.nb_comments}
+
+    def stories_of_the_day(self) -> list:
+        stories = self.home("stories").find_where(
+            "id > 0", (), order_by="date", descending=True, limit=PAGE_SIZE)
+        return [self._headline(s) for s in stories]
+
+    def list_categories(self) -> list:
+        return [{"id": c.id, "name": c.name}
+                for c in self.home("categories").find_all()]
+
+    def stories_in_category(self, category: int, page: int = 0) -> list:
+        stories = self.home("stories").find_by(
+            "category", category, order_by="date", descending=True,
+            limit=PAGE_SIZE * (page + 1))
+        return [self._headline(s) for s in stories[page * PAGE_SIZE:]]
+
+    def older_stories(self, page: int = 0) -> list:
+        stories = self.home("old_stories").find_where(
+            "id > 0", (), order_by="date", descending=True,
+            limit=PAGE_SIZE * (page + 1))
+        return [self._headline(s) for s in stories[page * PAGE_SIZE:]]
+
+    def search(self, term: str) -> list:
+        stories = self.home("stories").find_where(
+            "title LIKE ?", (term + "%",), order_by="date",
+            descending=True, limit=PAGE_SIZE)
+        return [self._headline(s) for s in stories]
+
+
+class StoryBean(SessionBean):
+    """Story, comment-thread, and author views."""
+
+    def view_story(self, story_id: int):
+        try:
+            story = self.home("stories").find_by_primary_key(story_id)
+            comment_home = self.home("comments")
+        except KeyError:
+            try:
+                story = self.home("old_stories").find_by_primary_key(
+                    story_id)
+                comment_home = self.home("old_comments")
+            except KeyError:
+                return None
+        author = self.home("users").find_by_primary_key(story.author)
+        users = self.home("users")
+        toplevel = []
+        for comment in comment_home.find_where(
+                "story_id = ? AND parent = 0", (story_id,),
+                order_by="date", limit=PAGE_SIZE):
+            by = users.find_by_primary_key(comment.author)
+            toplevel.append({"id": comment.id, "subject": comment.subject,
+                             "rating": comment.rating,
+                             "date": comment.date, "by": by.nickname})
+        return {"title": story.title, "body": story.body,
+                "author": author.nickname, "nb_comments": story.nb_comments,
+                "comments": toplevel}
+
+    def view_comment(self, comment_id: int):
+        try:
+            comment = self.home("comments").find_by_primary_key(comment_id)
+        except KeyError:
+            return None
+        users = self.home("users")
+        author = users.find_by_primary_key(comment.author)
+        replies = []
+        for reply in self.home("comments").find_by(
+                "parent", comment_id, order_by="date", limit=PAGE_SIZE):
+            by = users.find_by_primary_key(reply.author)
+            replies.append({"id": reply.id, "subject": reply.subject,
+                            "rating": reply.rating, "by": by.nickname})
+        return {"subject": comment.subject, "body": comment.body,
+                "rating": comment.rating, "by": author.nickname,
+                "replies": replies}
+
+    def author_info(self, user_id: int):
+        try:
+            user = self.home("users").find_by_primary_key(user_id)
+        except KeyError:
+            return None
+        stories = [{"id": s.id, "title": s.title, "date": s.date}
+                   for s in self.home("stories").find_by(
+                       "author", user_id, order_by="date",
+                       descending=True, limit=10)]
+        comments = [{"id": c.id, "subject": c.subject, "rating": c.rating,
+                     "date": c.date}
+                    for c in self.home("comments").find_by(
+                        "author", user_id, order_by="date",
+                        descending=True, limit=10)]
+        return {"nickname": user.nickname, "rating": user.rating,
+                "access": user.access, "stories": stories,
+                "comments": comments}
+
+
+class PostBean(SessionBean):
+    """Write-side façade: submissions, comments, moderation."""
+
+    def _auth(self, nickname: str, password: str):
+        users = self.home("users").find_by("nickname", nickname, limit=1)
+        if users and users[0].password == password:
+            return users[0]
+        return None
+
+    def submit_story(self, nickname: str, password: str, title: str,
+                     body: str, category: int):
+        user = self._auth(nickname, password)
+        if user is None:
+            return {"ok": False, "reason": "auth"}
+        story = self.home("stories").create(
+            title=title, body=body, date=BASE_TIME, author=user.id,
+            category=category, nb_comments=0)
+        return {"ok": True, "story_id": story.id}
+
+    def post_comment(self, nickname: str, password: str, story_id: int,
+                     parent: int, subject: str, body: str):
+        user = self._auth(nickname, password)
+        if user is None:
+            return {"ok": False, "reason": "auth"}
+        try:
+            story = self.home("stories").find_by_primary_key(story_id)
+        except KeyError:
+            return {"ok": False, "reason": "archived"}
+        self.home("comments").create(
+            story_id=story_id, parent=parent, author=user.id,
+            subject=subject, body=body, date=BASE_TIME, rating=0)
+        story.nb_comments = story.nb_comments + 1
+        return {"ok": True}
+
+    def moderate(self, nickname: str, password: str, comment_id: int,
+                 vote: int):
+        user = self._auth(nickname, password)
+        if user is None:
+            return {"ok": False, "reason": "auth"}
+        if not user.access:
+            return {"ok": False, "reason": "access"}
+        try:
+            comment = self.home("comments").find_by_primary_key(comment_id)
+        except KeyError:
+            return {"ok": False, "reason": "gone"}
+        vote = 1 if vote >= 0 else -1
+        comment.rating = comment.rating + vote
+        author = self.home("users").find_by_primary_key(comment.author)
+        author.rating = author.rating + vote
+        self.home("moderations").create(
+            moderator=user.id, comment_id=comment_id, vote=vote,
+            date=BASE_TIME)
+        return {"ok": True, "vote": vote}
+
+    def register(self, nickname: str, password: str, email: str):
+        taken = self.home("users").find_by("nickname", nickname, limit=1)
+        if taken:
+            return {"ok": False}
+        user = self.home("users").create(
+            nickname=nickname, password=password, email=email, rating=0,
+            access=0, creation_date=BASE_TIME)
+        return {"ok": True, "user_id": user.id}
+
+
+def deploy_bboard_beans(container: EjbContainer) -> None:
+    container.deploy_all_entities()
+    container.deploy_session("Board", BoardBean)
+    container.deploy_session("Story", StoryBean)
+    container.deploy_session("Post", PostBean)
+
+
+def ejb_presentation_pages(container: EjbContainer) \
+        -> Dict[str, Callable[[AppContext], HttpResponse]]:
+    from repro.apps.bboard import logic
+
+    pages: Dict[str, Callable] = {
+        f"/{name}": logic.INTERACTIONS[name][0]
+        for name in logic.STATIC_INTERACTIONS}
+
+    def _headline_table(page, rows):
+        page.table(["id", "headline", "date", "comments"],
+                   [(r["id"], r["title"], r["date"], r["nb_comments"])
+                    for r in rows])
+
+    def home(ctx):
+        stub = container.lookup("Board", trace=ctx.trace)
+        page = _page("Stories of the Day")
+        _headline_table(page, stub.stories_of_the_day())
+        return ctx.respond(page)
+
+    def browse_categories(ctx):
+        stub = container.lookup("Board", trace=ctx.trace)
+        page = _page("All Topics")
+        for c in stub.list_categories():
+            page.link(f"/stories_by_category?category={c['id']}", c["name"])
+        return ctx.respond(page)
+
+    def stories_by_category(ctx):
+        stub = container.lookup("Board", trace=ctx.trace)
+        page = _page("Topic Stories")
+        _headline_table(page, stub.stories_in_category(
+            ctx.int_param("category", 1), ctx.int_param("page", 0)))
+        return ctx.respond(page)
+
+    def older_stories(ctx):
+        stub = container.lookup("Board", trace=ctx.trace)
+        page = _page("Older Stories")
+        _headline_table(page, stub.older_stories(ctx.int_param("page", 0)))
+        return ctx.respond(page)
+
+    def search_stories(ctx):
+        stub = container.lookup("Board", trace=ctx.trace)
+        page = _page("Search Results")
+        _headline_table(page, stub.search(
+            ctx.str_param("search_string", "STORY HEADLINE 001")))
+        return ctx.respond(page)
+
+    def view_story(ctx):
+        stub = container.lookup("Story", trace=ctx.trace)
+        d = stub.view_story(ctx.int_param("story_id", 1))
+        if d is None:
+            return ctx.error("story not found", status=404)
+        page = _page("Story")
+        page.heading(d["title"])
+        page.paragraph(d["body"])
+        page.paragraph(f"Posted by {d['author']}; "
+                       f"{d['nb_comments']} comments.")
+        page.table(["id", "subject", "rating", "date", "by"],
+                   [(c["id"], c["subject"], c["rating"], c["date"],
+                     c["by"]) for c in d["comments"]])
+        return ctx.respond(page)
+
+    def view_comment(ctx):
+        stub = container.lookup("Story", trace=ctx.trace)
+        d = stub.view_comment(ctx.int_param("comment_id", 1))
+        if d is None:
+            return ctx.error("comment not found", status=404)
+        page = _page("Comment Thread")
+        page.heading(d["subject"], 3)
+        page.paragraph(d["body"])
+        page.paragraph(f"Rated {d['rating']}, by {d['by']}")
+        page.table(["id", "subject", "rating", "by"],
+                   [(r["id"], r["subject"], r["rating"], r["by"])
+                    for r in d["replies"]])
+        return ctx.respond(page)
+
+    def author_info(ctx):
+        stub = container.lookup("Story", trace=ctx.trace)
+        d = stub.author_info(ctx.int_param("user_id", 1))
+        if d is None:
+            return ctx.error("user not found", status=404)
+        page = _page("Author")
+        role = "moderator" if d["access"] else "reader"
+        page.paragraph(f"{d['nickname']} ({role}), karma {d['rating']}")
+        page.table(["id", "headline", "date"],
+                   [(s["id"], s["title"], s["date"]) for s in d["stories"]])
+        page.table(["id", "subject", "rating", "date"],
+                   [(c["id"], c["subject"], c["rating"], c["date"])
+                    for c in d["comments"]])
+        return ctx.respond(page)
+
+    def creds(ctx):
+        return (ctx.str_param("nickname", "reader1"),
+                ctx.str_param("password", ""))
+
+    def submit_story(ctx):
+        stub = container.lookup("Post", trace=ctx.trace)
+        nickname, password = creds(ctx)
+        d = stub.submit_story(
+            nickname, password,
+            ctx.str_param("title", "USER SUBMITTED STORY"),
+            ctx.str_param("body", "Fresh off the wire. " * 5),
+            ctx.int_param("category", 1))
+        if not d["ok"]:
+            return ctx.error("authentication failed", status=401)
+        page = _page("Story Submitted")
+        page.paragraph(f"Story {d['story_id']} is live.")
+        return ctx.respond(page)
+
+    def post_comment(ctx):
+        stub = container.lookup("Post", trace=ctx.trace)
+        nickname, password = creds(ctx)
+        d = stub.post_comment(
+            nickname, password, ctx.int_param("story_id", 1),
+            ctx.int_param("parent", 0),
+            ctx.str_param("subject", "Re: story"),
+            ctx.str_param("body", "Strong opinions, loosely held. " * 3))
+        if not d["ok"]:
+            status = 401 if d["reason"] == "auth" else 409
+            return ctx.error("rejected", status=status)
+        page = _page("Comment Posted")
+        page.paragraph("Your comment is posted.")
+        return ctx.respond(page)
+
+    def moderate_comment(ctx):
+        stub = container.lookup("Post", trace=ctx.trace)
+        nickname, password = creds(ctx)
+        d = stub.moderate(nickname, password,
+                          ctx.int_param("comment_id", 1),
+                          ctx.int_param("vote", 1))
+        if not d["ok"]:
+            status = {"auth": 401, "access": 403, "gone": 404}[d["reason"]]
+            return ctx.error("rejected", status=status)
+        page = _page("Moderation Recorded")
+        page.paragraph(f"Moderated {d['vote']:+d}.")
+        return ctx.respond(page)
+
+    def register_user(ctx):
+        nickname = ctx.str_param("nickname", "")
+        if not nickname:
+            return ctx.error("nickname required", status=400)
+        stub = container.lookup("Post", trace=ctx.trace)
+        d = stub.register(nickname, ctx.str_param("password", "secret"),
+                          ctx.str_param("email", "new@bboard.example"))
+        if not d["ok"]:
+            return ctx.error("nickname already in use", status=409)
+        page = _page("Registration Complete")
+        page.paragraph(f"Welcome, {nickname} (reader #{d['user_id']})!")
+        return ctx.respond(page)
+
+    dynamic = {
+        "home": home, "browse_categories": browse_categories,
+        "stories_by_category": stories_by_category,
+        "older_stories": older_stories, "search_stories": search_stories,
+        "view_story": view_story, "view_comment": view_comment,
+        "author_info": author_info, "submit_story": submit_story,
+        "post_comment": post_comment,
+        "moderate_comment": moderate_comment,
+        "register_user": register_user,
+    }
+    for name, fn in dynamic.items():
+        pages[f"/{name}"] = fn
+    return pages

@@ -1,0 +1,311 @@
+"""The sixteen bulletin-board interactions, written once against
+AppContext (PHP and servlets share them; ejb_app.py has the EJB tier).
+
+Like the auction site, queries are short -- list twenty headlines, show
+one story's comment tree, insert a comment -- so the dynamic-content
+generator, not the database, is expected to be the bottleneck (the
+paper's stated reason for omitting this benchmark from its main
+comparison).
+"""
+
+from __future__ import annotations
+
+from repro.apps.bboard.datagen import BASE_TIME
+from repro.middleware.context import AppContext
+from repro.web.html import Page
+from repro.web.http import HttpResponse
+
+SITE = "Bulletin Board"
+PAGE_SIZE = 20
+NAV = ("home", "topics", "older", "submit")
+
+
+def _page(title: str) -> Page:
+    page = Page(title, site=SITE)
+    page.nav_buttons(NAV)
+    return page
+
+
+def _authenticate(ctx: AppContext):
+    nickname = ctx.str_param("nickname", "reader1")
+    password = ctx.str_param("password", "")
+    return ctx.query(
+        "SELECT id, access, rating FROM users "
+        "WHERE nickname = ? AND password = ?", (nickname, password)).first()
+
+
+# ------------------------------------------------------------ static pages
+
+def submit_story_form(ctx: AppContext) -> HttpResponse:
+    page = _page("Submit a Story")
+    page.form("/submit_story", ["nickname", "password", "title", "body",
+                                "category"])
+    return ctx.respond(page)
+
+
+def post_comment_form(ctx: AppContext) -> HttpResponse:
+    page = _page("Post a Comment")
+    page.form("/post_comment", ["nickname", "password", "story_id",
+                                "parent", "subject", "body"])
+    return ctx.respond(page)
+
+
+def moderate_form(ctx: AppContext) -> HttpResponse:
+    page = _page("Moderate a Comment")
+    page.form("/moderate_comment", ["nickname", "password", "comment_id",
+                                    "vote"])
+    return ctx.respond(page)
+
+
+def register_form(ctx: AppContext) -> HttpResponse:
+    page = _page("Register")
+    page.form("/register_user", ["nickname", "password", "email"])
+    return ctx.respond(page)
+
+
+# ------------------------------------------------------------- read pages
+
+def home(ctx: AppContext) -> HttpResponse:
+    """Stories of the day: the twenty most recent headlines."""
+    result = ctx.query(
+        "SELECT id, title, date, nb_comments FROM stories "
+        "ORDER BY date DESC LIMIT ?", (PAGE_SIZE,))
+    page = _page("Stories of the Day")
+    page.table(["id", "headline", "date", "comments"], result.rows)
+    for row in result.rows:
+        page.link(f"/view_story?story_id={row[0]}", row[1])
+    return ctx.respond(page)
+
+
+def browse_categories(ctx: AppContext) -> HttpResponse:
+    result = ctx.query("SELECT id, name FROM categories ORDER BY name")
+    page = _page("All Topics")
+    for cid, name in result.rows:
+        page.link(f"/stories_by_category?category={cid}", name)
+    return ctx.respond(page)
+
+
+def stories_by_category(ctx: AppContext) -> HttpResponse:
+    category = ctx.int_param("category", 1)
+    offset = ctx.int_param("page", 0) * PAGE_SIZE
+    result = ctx.query(
+        "SELECT id, title, date, nb_comments FROM stories "
+        "WHERE category = ? ORDER BY date DESC LIMIT ? OFFSET ?",
+        (category, PAGE_SIZE, offset))
+    page = _page("Topic Stories")
+    page.table(["id", "headline", "date", "comments"], result.rows)
+    return ctx.respond(page)
+
+
+def older_stories(ctx: AppContext) -> HttpResponse:
+    """The archive, newest first (hits the big old_stories table)."""
+    offset = ctx.int_param("page", 0) * PAGE_SIZE
+    result = ctx.query(
+        "SELECT id, title, date, nb_comments FROM old_stories "
+        "ORDER BY date DESC LIMIT ? OFFSET ?", (PAGE_SIZE, offset))
+    page = _page("Older Stories")
+    page.table(["id", "headline", "date", "comments"], result.rows)
+    return ctx.respond(page)
+
+
+def _load_story(ctx: AppContext, story_id: int):
+    row = ctx.query(
+        "SELECT id, title, body, date, author, category, nb_comments "
+        "FROM stories WHERE id = ?", (story_id,)).first()
+    if row is not None:
+        return row, "comments"
+    row = ctx.query(
+        "SELECT id, title, body, date, author, category, nb_comments "
+        "FROM old_stories WHERE id = ?", (story_id,)).first()
+    return row, "old_comments"
+
+
+def view_story(ctx: AppContext) -> HttpResponse:
+    story_id = ctx.int_param("story_id", 1)
+    story, comment_table = _load_story(ctx, story_id)
+    if story is None:
+        return ctx.error(f"story {story_id} not found", status=404)
+    author = ctx.query("SELECT nickname FROM users WHERE id = ?",
+                       (story[4],)).scalar()
+    toplevel = ctx.query(
+        f"SELECT c.id, c.subject, c.rating, c.date, u.nickname "
+        f"FROM {comment_table} c JOIN users u ON u.id = c.author "
+        f"WHERE c.story_id = ? AND c.parent = 0 "
+        f"ORDER BY c.date LIMIT ?", (story_id, PAGE_SIZE))
+    page = _page("Story")
+    page.heading(story[1])
+    page.paragraph(story[2])
+    page.paragraph(f"Posted by {author}; {story[6]} comments.")
+    page.table(["id", "subject", "rating", "date", "by"], toplevel.rows)
+    for row in toplevel.rows:
+        page.link(f"/view_comment?comment_id={row[0]}", row[1])
+    return ctx.respond(page)
+
+
+def view_comment(ctx: AppContext) -> HttpResponse:
+    comment_id = ctx.int_param("comment_id", 1)
+    comment = ctx.query(
+        "SELECT c.id, c.subject, c.body, c.rating, c.date, c.story_id, "
+        "u.nickname FROM comments c JOIN users u ON u.id = c.author "
+        "WHERE c.id = ?", (comment_id,)).first()
+    if comment is None:
+        return ctx.error(f"comment {comment_id} not found", status=404)
+    replies = ctx.query(
+        "SELECT c.id, c.subject, c.rating, u.nickname "
+        "FROM comments c JOIN users u ON u.id = c.author "
+        "WHERE c.parent = ? ORDER BY c.date LIMIT ?",
+        (comment_id, PAGE_SIZE))
+    page = _page("Comment Thread")
+    page.heading(comment[1], 3)
+    page.paragraph(comment[2])
+    page.paragraph(f"Rated {comment[3]}, by {comment[6]}")
+    page.table(["id", "subject", "rating", "by"], replies.rows)
+    return ctx.respond(page)
+
+
+def author_info(ctx: AppContext) -> HttpResponse:
+    user_id = ctx.int_param("user_id", 1)
+    user = ctx.query(
+        "SELECT nickname, rating, access, creation_date FROM users "
+        "WHERE id = ?", (user_id,)).first()
+    if user is None:
+        return ctx.error(f"user {user_id} not found", status=404)
+    their_stories = ctx.query(
+        "SELECT id, title, date FROM stories WHERE author = ? "
+        "ORDER BY date DESC LIMIT 10", (user_id,))
+    their_comments = ctx.query(
+        "SELECT id, subject, rating, date FROM comments WHERE author = ? "
+        "ORDER BY date DESC LIMIT 10", (user_id,))
+    page = _page("Author")
+    role = "moderator" if user[2] else "reader"
+    page.paragraph(f"{user[0]} ({role}), karma {user[1]}")
+    page.table(["id", "headline", "date"], their_stories.rows)
+    page.table(["id", "subject", "rating", "date"], their_comments.rows)
+    return ctx.respond(page)
+
+
+def search_stories(ctx: AppContext) -> HttpResponse:
+    """Title-prefix search over the live stories table."""
+    term = ctx.str_param("search_string", "STORY HEADLINE 001")
+    result = ctx.query(
+        "SELECT id, title, date, nb_comments FROM stories "
+        "WHERE title LIKE ? ORDER BY date DESC LIMIT ?",
+        (term + "%", PAGE_SIZE))
+    page = _page("Search Results")
+    page.table(["id", "headline", "date", "comments"], result.rows)
+    return ctx.respond(page)
+
+
+# ------------------------------------------------------------- write pages
+
+def submit_story(ctx: AppContext) -> HttpResponse:
+    user = _authenticate(ctx)
+    if user is None:
+        return ctx.error("authentication failed", status=401)
+    title = ctx.str_param("title", "USER SUBMITTED STORY")
+    with ctx.exclusive([("stories", user[0])]):
+        ctx.update(
+            "INSERT INTO stories (title, body, date, author, category, "
+            "nb_comments) VALUES (?, ?, ?, ?, ?, 0)",
+            (title, ctx.str_param("body", "Fresh off the wire. " * 5),
+             BASE_TIME, user[0], ctx.int_param("category", 1)))
+        story_id = ctx.last_insert_id
+    page = _page("Story Submitted")
+    page.paragraph(f"Story {story_id} is live: {title}")
+    return ctx.respond(page)
+
+
+def post_comment(ctx: AppContext) -> HttpResponse:
+    user = _authenticate(ctx)
+    if user is None:
+        return ctx.error("authentication failed", status=401)
+    story_id = ctx.int_param("story_id", 1)
+    with ctx.exclusive([("comments", story_id), ("stories", story_id)]):
+        exists = ctx.query("SELECT id FROM stories WHERE id = ?",
+                           (story_id,)).scalar()
+        if exists is None:
+            return ctx.error("story is archived or missing", status=409)
+        ctx.update(
+            "INSERT INTO comments (story_id, parent, author, subject, "
+            "body, date, rating) VALUES (?, ?, ?, ?, ?, ?, 0)",
+            (story_id, ctx.int_param("parent", 0), user[0],
+             ctx.str_param("subject", "Re: story"),
+             ctx.str_param("body", "Strong opinions, loosely held. " * 3),
+             BASE_TIME))
+        # Maintain the denormalized counter on the story.
+        ctx.update(
+            "UPDATE stories SET nb_comments = nb_comments + 1 "
+            "WHERE id = ?", (story_id,))
+    page = _page("Comment Posted")
+    page.paragraph(f"Your comment on story {story_id} is posted.")
+    return ctx.respond(page)
+
+
+def moderate_comment(ctx: AppContext) -> HttpResponse:
+    user = _authenticate(ctx)
+    if user is None:
+        return ctx.error("authentication failed", status=401)
+    if not user[1]:
+        return ctx.error("not a moderator", status=403)
+    comment_id = ctx.int_param("comment_id", 1)
+    vote = 1 if ctx.int_param("vote", 1) >= 0 else -1
+    with ctx.exclusive([("comments", comment_id), ("users", comment_id),
+                        ("moderations", comment_id)]):
+        comment = ctx.query(
+            "SELECT author, rating FROM comments WHERE id = ?",
+            (comment_id,)).first()
+        if comment is None:
+            return ctx.error("comment vanished", status=404)
+        ctx.update("UPDATE comments SET rating = rating + ? WHERE id = ?",
+                   (vote, comment_id))
+        ctx.update("UPDATE users SET rating = rating + ? WHERE id = ?",
+                   (vote, comment[0]))
+        ctx.update(
+            "INSERT INTO moderations (moderator, comment_id, vote, date) "
+            "VALUES (?, ?, ?, ?)", (user[0], comment_id, vote, BASE_TIME))
+    page = _page("Moderation Recorded")
+    page.paragraph(f"Comment {comment_id} moderated {vote:+d}.")
+    return ctx.respond(page)
+
+
+def register_user(ctx: AppContext) -> HttpResponse:
+    nickname = ctx.str_param("nickname", "")
+    if not nickname:
+        return ctx.error("nickname required", status=400)
+    with ctx.exclusive([("users", nickname)]):
+        taken = ctx.query("SELECT id FROM users WHERE nickname = ?",
+                          (nickname,)).scalar()
+        if taken is not None:
+            return ctx.error("nickname already in use", status=409)
+        ctx.update(
+            "INSERT INTO users (nickname, password, email, rating, "
+            "access, creation_date) VALUES (?, ?, ?, 0, 0, ?)",
+            (nickname, ctx.str_param("password", "secret"),
+             ctx.str_param("email", "new@bboard.example"), BASE_TIME))
+        user_id = ctx.last_insert_id
+    page = _page("Registration Complete")
+    page.paragraph(f"Welcome, {nickname} (reader #{user_id})!")
+    return ctx.respond(page)
+
+
+INTERACTIONS = {
+    "home": (home, True),
+    "browse_categories": (browse_categories, True),
+    "stories_by_category": (stories_by_category, True),
+    "older_stories": (older_stories, True),
+    "view_story": (view_story, True),
+    "view_comment": (view_comment, True),
+    "author_info": (author_info, True),
+    "search_stories": (search_stories, True),
+    "submit_story_form": (submit_story_form, True),
+    "submit_story": (submit_story, False),
+    "post_comment_form": (post_comment_form, True),
+    "post_comment": (post_comment, False),
+    "moderate_form": (moderate_form, True),
+    "moderate_comment": (moderate_comment, False),
+    "register_form": (register_form, True),
+    "register_user": (register_user, False),
+}
+
+STATIC_INTERACTIONS = ("submit_story_form", "post_comment_form",
+                       "moderate_form", "register_form")

@@ -1,0 +1,134 @@
+"""Bulletin-board schema (RUBBoS-style), seven tables.
+
+``users, categories, stories, old_stories, comments, old_comments,
+moderations`` -- the Slashdot model: stories of the day stay in the
+small ``stories`` table and age out into ``old_stories`` (the same
+working-set split the auction site uses for items), comments hang off
+stories with a denormalized ``nb_comments`` counter on the story, and
+moderation votes adjust comment *and* author ratings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.db.schema import Column, ColumnType, IndexDef, TableSchema
+
+NUM_USERS = 500_000
+NUM_CATEGORIES = 15
+NUM_ACTIVE_STORIES = 3_000
+NUM_OLD_STORIES = 200_000
+COMMENTS_PER_STORY = 10
+MODERATION_FRACTION = 0.2   # a fifth of comments receive a moderation
+
+C = Column
+T = ColumnType
+
+
+def _story_columns() -> List[Column]:
+    return [
+        C("id", T.INT, nullable=False),
+        C("title", T.VARCHAR, byte_width=60),
+        C("body", T.TEXT),
+        C("date", T.DATETIME),
+        C("author", T.INT),
+        C("category", T.INT),
+        C("nb_comments", T.INT),
+    ]
+
+
+def _comment_columns() -> List[Column]:
+    return [
+        C("id", T.INT, nullable=False),
+        C("story_id", T.INT),
+        C("parent", T.INT),          # 0 for top-level comments
+        C("author", T.INT),
+        C("subject", T.VARCHAR),
+        C("body", T.TEXT),
+        C("date", T.DATETIME),
+        C("rating", T.INT),
+    ]
+
+
+def bboard_schemas() -> List[TableSchema]:
+    schemas = [
+        TableSchema(
+            name="categories",
+            columns=[C("id", T.INT, nullable=False), C("name", T.VARCHAR)],
+            primary_key="id", auto_increment=True),
+        TableSchema(
+            name="users",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("nickname", T.VARCHAR),
+                C("password", T.VARCHAR),
+                C("email", T.VARCHAR),
+                C("rating", T.INT),
+                C("access", T.INT),      # 1 = moderator
+                C("creation_date", T.DATETIME),
+            ],
+            primary_key="id", auto_increment=True,
+            indexes=[IndexDef("idx_bb_nick", ("nickname",), unique=True,
+                              kind="hash")]),
+        TableSchema(
+            name="stories",
+            columns=_story_columns(),
+            primary_key="id", auto_increment=True,
+            indexes=[
+                IndexDef("idx_story_cat_date", ("category", "date")),
+                IndexDef("idx_story_date", ("date",)),
+                IndexDef("idx_story_author", ("author",)),
+            ]),
+        TableSchema(
+            name="old_stories",
+            columns=_story_columns(),
+            primary_key="id", auto_increment=True,
+            indexes=[
+                IndexDef("idx_ostory_date", ("date",)),
+                IndexDef("idx_ostory_author", ("author",)),
+            ]),
+        TableSchema(
+            name="comments",
+            columns=_comment_columns(),
+            primary_key="id", auto_increment=True,
+            indexes=[
+                IndexDef("idx_com_story", ("story_id",)),
+                IndexDef("idx_com_parent", ("parent",)),
+                IndexDef("idx_com_author", ("author",)),
+            ]),
+        TableSchema(
+            name="old_comments",
+            columns=_comment_columns(),
+            primary_key="id", auto_increment=True,
+            indexes=[IndexDef("idx_ocom_story", ("story_id",))]),
+        TableSchema(
+            name="moderations",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("moderator", T.INT),
+                C("comment_id", T.INT),
+                C("vote", T.INT),
+                C("date", T.DATETIME),
+            ],
+            primary_key="id", auto_increment=True,
+            indexes=[IndexDef("idx_mod_comment", ("comment_id",))]),
+    ]
+    nominal = nominal_cardinalities()
+    for schema in schemas:
+        schema.stats.nominal_rows = nominal[schema.name]
+        if schema.name == "stories":
+            schema.stats.distinct_values = {"category": NUM_CATEGORIES}
+    return schemas
+
+
+def nominal_cardinalities() -> Dict[str, int]:
+    return {
+        "categories": NUM_CATEGORIES,
+        "users": NUM_USERS,
+        "stories": NUM_ACTIVE_STORIES,
+        "old_stories": NUM_OLD_STORIES,
+        "comments": COMMENTS_PER_STORY * NUM_ACTIVE_STORIES,
+        "old_comments": COMMENTS_PER_STORY * NUM_OLD_STORIES,
+        "moderations": int(MODERATION_FRACTION * COMMENTS_PER_STORY
+                           * NUM_ACTIVE_STORIES),
+    }

@@ -1,0 +1,23 @@
+"""Online bookstore benchmark (TPC-W).
+
+Eight tables, fourteen interactions, three workload mixes (browsing /
+shopping / ordering).  The database is the bottleneck in the paper's
+experiments with this application.
+"""
+
+from repro.apps.bookstore.app import BookstoreApp, build_bookstore_database
+from repro.apps.bookstore.mixes import (
+    BOOKSTORE_INTERACTIONS,
+    BROWSING_MIX,
+    ORDERING_MIX,
+    SHOPPING_MIX,
+)
+
+__all__ = [
+    "BookstoreApp",
+    "build_bookstore_database",
+    "BOOKSTORE_INTERACTIONS",
+    "BROWSING_MIX",
+    "SHOPPING_MIX",
+    "ORDERING_MIX",
+]

@@ -1,0 +1,154 @@
+"""Bookstore data generator.
+
+Populates a database at ``scale`` (1.0 = the paper's 10,000 items and
+288,000 customers; tests use much smaller scales).  Per-entity relation
+sizes (order lines per order, authors per item, ...) are kept constant
+across scales so index-probe result sizes -- and therefore priced index
+costs -- are scale-invariant, as the cost model assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.bookstore.schema import (
+    NUM_COUNTRIES,
+    NUM_CUSTOMERS,
+    NUM_ITEMS,
+    SUBJECTS,
+    bookstore_schemas,
+)
+from repro.db.engine import Database
+from repro.sim.rng import RngStreams
+
+# A fixed epoch keeps generated DATETIMEs deterministic.
+BASE_TIME = 1_000_000_000.0
+DAY = 86_400.0
+
+
+def _insert_pk(table, values: dict) -> int:
+    """Insert and return the new row's primary-key value."""
+    rowid = table.insert(values)
+    return table.get_row(rowid)[table.column_pos(table.schema.primary_key)]
+
+
+# Floors keep profiled pages full-size regardless of scale: listing
+# pages show up to 50 items per subject (so >= 50 * 24 items must be
+# loaded) and the best-sellers window covers 3,333 orders (so >= 3,703
+# customers at 0.9 orders/customer).  Tests may bypass the floors with
+# ``tiny=True`` where speed matters more than page fidelity.
+ITEM_FLOOR = 1_248
+CUSTOMER_FLOOR = 3_800
+
+
+def scaled_counts(scale: float, tiny: bool = False) -> dict:
+    """Loaded row counts for a given scale factor."""
+    if not 0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    item_floor = 48 if tiny else ITEM_FLOOR
+    customer_floor = 100 if tiny else CUSTOMER_FLOOR
+    items = max(item_floor, int(NUM_ITEMS * scale))
+    customers = max(customer_floor, int(NUM_CUSTOMERS * scale))
+    orders = int(0.9 * customers)
+    return {
+        "countries": NUM_COUNTRIES,
+        "items": items,
+        "authors": max(12, items // 4),
+        "customers": customers,
+        "orders": orders,
+    }
+
+
+def populate_bookstore(db: Database, scale: float = 0.01,
+                       rng: Optional[RngStreams] = None,
+                       tiny: bool = False) -> dict:
+    """Create the eight tables and load a coherent dataset.
+
+    Returns the per-table loaded counts.
+    """
+    rng = rng or RngStreams(7)
+    for schema in bookstore_schemas():
+        db.create_table(schema)
+    counts = scaled_counts(scale, tiny=tiny)
+    r = rng.stream("bookstore.datagen")
+
+    for i in range(1, counts["countries"] + 1):
+        db.table("countries").insert({
+            "name": f"COUNTRY{i:03d}", "exchange": 1.0 + (i % 7) * 0.1,
+            "currency": f"CUR{i % 10}"})
+
+    for i in range(1, counts["authors"] + 1):
+        db.table("authors").insert({
+            "fname": f"AuthFirst{i}", "lname": f"AuthLast{i % 500:03d}",
+            "mname": "Q", "dob": BASE_TIME - (20_000 + i) * DAY,
+            "bio": "Biography text. " * 8})
+
+    n_items = counts["items"]
+    for i in range(1, n_items + 1):
+        related = [1 + (i + k * 37) % n_items for k in range(1, 6)]
+        db.table("items").insert({
+            "title": f"BOOK TITLE {i % 300:03d} vol {i}",
+            "a_id": 1 + (i % counts["authors"]),
+            "pub_date": BASE_TIME - (i % 730) * DAY,
+            "publisher": f"PUBLISHER{i % 40:02d}",
+            "subject": SUBJECTS[i % len(SUBJECTS)],
+            "description": "A fine book about dynamic content. " * 6,
+            "thumbnail": f"/images/bookstore/thumb_{i}.gif",
+            "image": f"/images/bookstore/image_{i}.gif",
+            "srp": 10.0 + (i % 90), "cost": 5.0 + (i % 80),
+            "avail": BASE_TIME, "stock": 10 + (i % 20),
+            "isbn": f"ISBN{i:010d}", "page_count": 100 + (i % 400),
+            "backing": "HARDBACK" if i % 3 else "PAPERBACK",
+            "related1": related[0], "related2": related[1],
+            "related3": related[2], "related4": related[3],
+            "related5": related[4]})
+
+    n_customers = counts["customers"]
+    address = db.table("address")
+    customers = db.table("customers")
+    for i in range(1, n_customers + 1):
+        addr_id = _insert_pk(address, {
+            "street1": f"{i} Main Street", "street2": "",
+            "city": f"CITY{i % 100:02d}", "state": f"ST{i % 50:02d}",
+            "zip": f"{10000 + i % 90000}",
+            "country_id": 1 + (i % NUM_COUNTRIES)})
+        customers.insert({
+            "uname": f"customer{i}", "passwd": f"pw{i}",
+            "fname": f"First{i}", "lname": f"Last{i % 1000:03d}",
+            "addr_id": addr_id, "phone": f"555-{i:07d}",
+            "email": f"customer{i}@example.com",
+            "since": BASE_TIME - (i % 1000) * DAY,
+            "last_login": BASE_TIME, "login": BASE_TIME,
+            "expiration": BASE_TIME + 7200.0,
+            "discount": float(i % 30), "balance": 0.0,
+            "ytd_pmt": float((i % 50) * 10), "birthdate": BASE_TIME - 12_000 * DAY,
+            "data": "customer profile data " * 3})
+
+    orders = db.table("orders")
+    order_line = db.table("order_line")
+    credit_info = db.table("credit_info")
+    n_orders = counts["orders"]
+    for i in range(1, n_orders + 1):
+        c_id = 1 + r.randrange(n_customers)
+        o_id = _insert_pk(orders, {
+            "c_id": c_id, "date": BASE_TIME - (i % 60) * DAY,
+            "subtotal": 50.0, "tax": 4.0, "total": 54.0,
+            "ship_type": "AIR", "ship_date": BASE_TIME,
+            "bill_addr_id": 1, "ship_addr_id": 1,
+            "status": "SHIPPED"})
+        for __ in range(3):
+            order_line.insert({
+                "o_id": o_id, "i_id": 1 + r.randrange(n_items),
+                "qty": 1 + r.randrange(4), "discount": 0.0,
+                "comments": "gift wrap"})
+        credit_info.insert({
+            "o_id": o_id, "type": "VISA", "num": f"4000{i:012d}",
+            "name": f"First{c_id} Last{c_id % 1000:03d}",
+            "expire": BASE_TIME + 900 * DAY, "auth_id": f"AUTH{i:08d}",
+            "amount": 54.0, "date": BASE_TIME - (i % 60) * DAY,
+            "co_id": 1 + (i % NUM_COUNTRIES)})
+
+    loaded = {name: len(db.table(name)) for name in (
+        "countries", "address", "customers", "authors", "items",
+        "orders", "order_line", "credit_info")}
+    return loaded

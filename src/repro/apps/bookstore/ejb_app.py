@@ -1,0 +1,479 @@
+"""EJB implementation of the bookstore: session façades + CMP entities.
+
+The business logic lives in stateless session beans that drive entity
+beans; the SQL is generated entirely by the CMP layer (finders, lazy
+loads, field-level stores).  Presentation servlets call the façades over
+RMI stubs and only format HTML -- the paper's session-façade design.
+
+The best-sellers façade walks the same 3,333-order window as the
+hand-written SQL, but through finders and per-field lazy loads -- one
+interaction turns into thousands of short queries, which is the paper's
+bookstore-EJB pathology (the database CPU saturates on them).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.apps.bookstore.datagen import BASE_TIME
+from repro.apps.bookstore.logic import _page
+from repro.middleware.context import AppContext
+from repro.middleware.ejb import EjbContainer, SessionBean
+from repro.web.http import HttpResponse
+
+EJB_BEST_SELLER_ORDERS = 3_333
+
+
+class CatalogBean(SessionBean):
+    """Read-side façade: catalog browsing and search."""
+
+    def get_promotions(self, subject: str, count: int = 5) -> list:
+        items = self.home("items").find_by("subject", subject, limit=count)
+        return [{"id": b.id, "title": b.title, "thumbnail": b.thumbnail}
+                for b in items]
+
+    def get_new_products(self, subject: str) -> list:
+        items = self.home("items").find_by(
+            "subject", subject, order_by="pub_date", descending=True,
+            limit=50)
+        authors = self.home("authors")
+        out = []
+        for item in items:
+            author = authors.find_by_primary_key(item.a_id)
+            out.append({"id": item.id, "title": item.title,
+                        "pub_date": item.pub_date,
+                        "thumbnail": item.thumbnail,
+                        "fname": author.fname, "lname": author.lname})
+        return out
+
+    def get_best_sellers(self, subject: str) -> list:
+        orders_home = self.home("orders")
+        lines_home = self.home("order_line")
+        items_home = self.home("items")
+        authors_home = self.home("authors")
+        max_id = orders_home.max_primary_key() or 0
+        recent = orders_home.find_where(
+            "id > ? AND status != 'cart'",
+            (max_id - EJB_BEST_SELLER_ORDERS,))
+        sold: Dict[int, int] = {}
+        for order in recent:
+            for line in lines_home.find_by("o_id", order.id):
+                sold[line.i_id] = sold.get(line.i_id, 0) + line.qty
+        ranked = sorted(sold.items(), key=lambda kv: -kv[1])[:50]
+        out = []
+        for i_id, qty in ranked:
+            item = items_home.find_by_primary_key(i_id)
+            if item.subject != subject:
+                continue
+            author = authors_home.find_by_primary_key(item.a_id)
+            out.append({"id": i_id, "title": item.title,
+                        "fname": author.fname, "lname": author.lname,
+                        "qty_sold": qty})
+        return out
+
+    def get_product_detail(self, i_id: int) -> dict:
+        item = self.home("items").find_by_primary_key(i_id)
+        author = self.home("authors").find_by_primary_key(item.a_id)
+        return {"id": item.id, "title": item.title,
+                "description": item.description, "image": item.image,
+                "srp": item.srp, "cost": item.cost, "stock": item.stock,
+                "isbn": item.isbn, "page_count": item.page_count,
+                "backing": item.backing, "publisher": item.publisher,
+                "fname": author.fname, "lname": author.lname,
+                "bio": author.bio}
+
+    def search(self, kind: str, term: str) -> list:
+        items_home = self.home("items")
+        authors_home = self.home("authors")
+        if kind == "author":
+            authors = authors_home.find_by("lname", term, limit=20)
+            items = []
+            for author in authors:
+                items.extend(items_home.find_by("a_id", author.id, limit=10))
+        elif kind == "title":
+            items = items_home.find_where(
+                "title LIKE ?", (term + "%",), order_by="title", limit=50)
+        else:
+            items = items_home.find_by("subject", term, order_by="title",
+                                       limit=50)
+        out = []
+        for item in items[:50]:
+            author = authors_home.find_by_primary_key(item.a_id)
+            out.append({"id": item.id, "title": item.title, "srp": item.srp,
+                        "thumbnail": item.thumbnail,
+                        "fname": author.fname, "lname": author.lname})
+        return out
+
+
+class CartBean(SessionBean):
+    """Cart façade over the orders/order_line entities."""
+
+    def _find_cart(self, c_id: int):
+        carts = self.home("orders").find_where(
+            "c_id = ? AND status = 'cart'", (c_id,), limit=1)
+        return carts[0] if carts else None
+
+    def add_and_list(self, c_id: int, i_id, qty: int) -> list:
+        orders_home = self.home("orders")
+        lines_home = self.home("order_line")
+        items_home = self.home("items")
+        cart = self._find_cart(c_id)
+        if cart is None:
+            cart = orders_home.create(
+                c_id=c_id, date=BASE_TIME, subtotal=0.0, tax=0.0, total=0.0,
+                ship_type="AIR", ship_date=BASE_TIME, bill_addr_id=1,
+                ship_addr_id=1, status="cart")
+        if i_id is not None:
+            existing = lines_home.find_where(
+                "o_id = ? AND i_id = ?", (cart.id, i_id), limit=1)
+            if existing:
+                existing[0].qty = existing[0].qty + qty
+            else:
+                lines_home.create(o_id=cart.id, i_id=i_id, qty=qty,
+                                  discount=0.0, comments="")
+        out = []
+        for line in lines_home.find_by("o_id", cart.id):
+            item = items_home.find_by_primary_key(line.i_id)
+            out.append({"i_id": line.i_id, "title": item.title,
+                        "qty": line.qty, "cost": item.cost})
+        return out
+
+
+class CustomerBean(SessionBean):
+    """Registration and session refresh."""
+
+    def register(self, uname: str, passwd: str, fname: str, lname: str,
+                 email: str) -> int:
+        address = self.home("address").create(
+            street1="1 New St", street2="", city="CITY01", state="ST01",
+            zip="11111", country_id=1)
+        customer = self.home("customers").create(
+            uname=uname, passwd=passwd, fname=fname, lname=lname,
+            addr_id=address.id, phone="555", email=email, since=BASE_TIME,
+            last_login=BASE_TIME, login=BASE_TIME,
+            expiration=BASE_TIME + 7200.0, discount=0.0, balance=0.0,
+            ytd_pmt=0.0, birthdate=BASE_TIME - 9000 * 86400.0,
+            data="new customer")
+        return customer.id
+
+    def refresh_session(self, c_id: int) -> bool:
+        try:
+            customer = self.home("customers").find_by_primary_key(c_id)
+        except KeyError:
+            return False
+        customer.last_login = BASE_TIME
+        return True
+
+
+class OrderBean(SessionBean):
+    """Purchase pipeline and order history."""
+
+    def buy_request(self, c_id: int) -> dict:
+        customer = self.home("customers").find_by_primary_key(c_id)
+        customer.login = BASE_TIME
+        customer.expiration = BASE_TIME + 7200.0
+        address = self.home("address").find_by_primary_key(customer.addr_id)
+        country = self.home("countries").find_by_primary_key(
+            address.country_id)
+        carts = self.home("orders").find_where(
+            "c_id = ? AND status = 'cart'", (c_id,), limit=1)
+        lines = []
+        if carts:
+            items_home = self.home("items")
+            for line in self.home("order_line").find_by("o_id", carts[0].id):
+                item = items_home.find_by_primary_key(line.i_id)
+                lines.append({"i_id": line.i_id, "title": item.title,
+                              "qty": line.qty, "cost": item.cost})
+        return {"fname": customer.fname, "lname": customer.lname,
+                "street1": address.street1, "city": address.city,
+                "country": country.name, "lines": lines}
+
+    def buy_confirm(self, c_id: int, cc_num: str, cc_name: str) -> dict:
+        carts = self.home("orders").find_where(
+            "c_id = ? AND status = 'cart'", (c_id,), limit=1)
+        if not carts:
+            return {"ok": False}
+        cart = carts[0]
+        items_home = self.home("items")
+        subtotal = 0.0
+        for line in self.home("order_line").find_by("o_id", cart.id):
+            item = items_home.find_by_primary_key(line.i_id)
+            subtotal += line.qty * item.cost
+            new_stock = item.stock - line.qty
+            if new_stock < 10:
+                new_stock += 21
+            item.stock = new_stock
+        customer = self.home("customers").find_by_primary_key(c_id)
+        subtotal *= (100.0 - customer.discount) / 100.0
+        tax = subtotal * 0.0825
+        total = subtotal + tax + 3.0
+        cart.status = "pending"
+        cart.date = BASE_TIME
+        cart.subtotal = subtotal
+        cart.tax = tax
+        cart.total = total
+        self.home("credit_info").create(
+            o_id=cart.id, type="VISA", num=cc_num, name=cc_name,
+            expire=BASE_TIME + 900 * 86400.0, auth_id="AUTHOK",
+            amount=total, date=BASE_TIME, co_id=1)
+        customer.ytd_pmt = customer.ytd_pmt + total
+        return {"ok": True, "order_id": cart.id, "total": total}
+
+    def order_display(self, uname: str) -> dict:
+        customers = self.home("customers").find_by("uname", uname, limit=1)
+        if not customers:
+            return {"ok": False}
+        customer = customers[0]
+        orders = self.home("orders").find_where(
+            "c_id = ? AND status != 'cart'", (customer.id,),
+            order_by="id", descending=True, limit=1)
+        if not orders:
+            return {"ok": True, "fname": customer.fname,
+                    "lname": customer.lname, "order": None}
+        order = orders[0]
+        items_home = self.home("items")
+        lines = []
+        for line in self.home("order_line").find_by("o_id", order.id):
+            item = items_home.find_by_primary_key(line.i_id)
+            lines.append({"i_id": line.i_id, "title": item.title,
+                          "qty": line.qty, "discount": line.discount})
+        payments = self.home("credit_info").find_by("o_id", order.id, limit=1)
+        payment = None
+        if payments:
+            payment = {"type": payments[0].type,
+                       "amount": payments[0].amount,
+                       "date": payments[0].date}
+        return {"ok": True, "fname": customer.fname, "lname": customer.lname,
+                "order": {"id": order.id, "date": order.date,
+                          "subtotal": order.subtotal, "tax": order.tax,
+                          "total": order.total, "status": order.status},
+                "lines": lines, "payment": payment}
+
+
+class AdminBean(SessionBean):
+    """Admin item view/update."""
+
+    def admin_view(self, i_id: int) -> dict:
+        item = self.home("items").find_by_primary_key(i_id)
+        return {"id": item.id, "title": item.title, "image": item.image,
+                "thumbnail": item.thumbnail, "srp": item.srp,
+                "cost": item.cost}
+
+    def admin_update(self, i_id: int, cost: float) -> list:
+        lines_home = self.home("order_line")
+        recent = self.home("orders").find_where(
+            "status != 'cart'", (), order_by="id", descending=True, limit=50)
+        counts: Dict[int, int] = {}
+        for order in recent:
+            for line in lines_home.find_by("o_id", order.id):
+                if line.i_id != i_id:
+                    counts[line.i_id] = counts.get(line.i_id, 0) + 1
+        related = [i for i, __ in
+                   sorted(counts.items(), key=lambda kv: -kv[1])[:5]]
+        while len(related) < 5:
+            related.append(i_id)
+        item = self.home("items").find_by_primary_key(i_id)
+        item.image = f"/images/bookstore/image_{i_id}.gif"
+        item.thumbnail = f"/images/bookstore/thumb_{i_id}.gif"
+        item.cost = cost
+        item.related1 = related[0]
+        item.related2 = related[1]
+        item.related3 = related[2]
+        item.related4 = related[3]
+        item.related5 = related[4]
+        return related
+
+
+def deploy_bookstore_beans(container: EjbContainer) -> None:
+    """Deploy all entities and the five session façades."""
+    container.deploy_all_entities()
+    container.deploy_session("Catalog", CatalogBean)
+    container.deploy_session("Cart", CartBean)
+    container.deploy_session("Customer", CustomerBean)
+    container.deploy_session("Order", OrderBean)
+    container.deploy_session("Admin", AdminBean)
+
+
+def ejb_presentation_pages(container: EjbContainer) \
+        -> Dict[str, Callable[[AppContext], HttpResponse]]:
+    """Presentation-tier servlets: format what the façades return."""
+
+    def home(ctx: AppContext) -> HttpResponse:
+        stub = container.lookup("Catalog", trace=ctx.trace)
+        promos = stub.get_promotions(ctx.str_param("subject", "SUBJECT00"))
+        page = _page("Home")
+        page.table(["id", "title", "thumbnail"],
+                   [(p["id"], p["title"], p["thumbnail"]) for p in promos])
+        for p in promos:
+            page.add_image(p["thumbnail"])
+        return ctx.respond(page)
+
+    def new_products(ctx: AppContext) -> HttpResponse:
+        stub = container.lookup("Catalog", trace=ctx.trace)
+        rows = stub.get_new_products(ctx.str_param("subject", "SUBJECT00"))
+        page = _page("New Products")
+        page.table(["id", "title", "pub_date", "fname", "lname"],
+                   [(r["id"], r["title"], r["pub_date"], r["fname"],
+                     r["lname"]) for r in rows])
+        for r in rows:
+            page.add_image(r["thumbnail"])
+        return ctx.respond(page)
+
+    def best_sellers(ctx: AppContext) -> HttpResponse:
+        stub = container.lookup("Catalog", trace=ctx.trace)
+        rows = stub.get_best_sellers(ctx.str_param("subject", "SUBJECT00"))
+        page = _page("Best Sellers")
+        page.table(["id", "title", "fname", "lname", "qty_sold"],
+                   [(r["id"], r["title"], r["fname"], r["lname"],
+                     r["qty_sold"]) for r in rows])
+        return ctx.respond(page)
+
+    def product_detail(ctx: AppContext) -> HttpResponse:
+        stub = container.lookup("Catalog", trace=ctx.trace)
+        try:
+            d = stub.get_product_detail(ctx.int_param("i_id", 1))
+        except KeyError:
+            return ctx.error("item not found", status=404)
+        page = _page("Product Detail")
+        page.heading(d["title"])
+        page.add_image(d["image"], alt=d["title"])
+        page.paragraph(d["description"])
+        page.table(["srp", "cost", "stock", "isbn", "pages", "backing",
+                    "publisher"],
+                   [(d["srp"], d["cost"], d["stock"], d["isbn"],
+                     d["page_count"], d["backing"], d["publisher"])])
+        page.paragraph(f"By {d['fname']} {d['lname']} -- {d['bio']}")
+        return ctx.respond(page)
+
+    def search_request(ctx: AppContext) -> HttpResponse:
+        page = _page("Search Request")
+        page.form("/search_results", ["search_type", "search_string"])
+        return ctx.respond(page)
+
+    def search_results(ctx: AppContext) -> HttpResponse:
+        stub = container.lookup("Catalog", trace=ctx.trace)
+        rows = stub.search(ctx.str_param("search_type", "subject"),
+                           ctx.str_param("search_string", "SUBJECT00"))
+        page = _page("Search Results")
+        page.table(["id", "title", "srp", "fname", "lname"],
+                   [(r["id"], r["title"], r["srp"], r["fname"], r["lname"])
+                    for r in rows])
+        for r in rows:
+            page.add_image(r["thumbnail"])
+        return ctx.respond(page)
+
+    def shopping_cart(ctx: AppContext) -> HttpResponse:
+        stub = container.lookup("Cart", trace=ctx.trace)
+        lines = stub.add_and_list(ctx.int_param("c_id", 1),
+                                  ctx.int_param("i_id"),
+                                  ctx.int_param("qty", 1))
+        page = _page("Shopping Cart")
+        page.table(["i_id", "title", "qty", "cost"],
+                   [(l["i_id"], l["title"], l["qty"], l["cost"])
+                    for l in lines])
+        total = sum(l["qty"] * l["cost"] for l in lines)
+        page.paragraph(f"Cart total: {total:.2f}")
+        return ctx.respond(page)
+
+    def customer_registration(ctx: AppContext) -> HttpResponse:
+        uname = ctx.str_param("new_uname", "")
+        page = _page("Customer Registration")
+        if not uname:
+            page.form("/customer_registration",
+                      ["new_uname", "passwd", "fname", "lname", "email"])
+            return ctx.respond(page)
+        stub = container.lookup("Customer", trace=ctx.trace)
+        c_id = stub.register(uname, ctx.str_param("passwd", "pw"),
+                             ctx.str_param("fname", "New"),
+                             ctx.str_param("lname", "Customer"),
+                             ctx.str_param("email", "new@example.com"))
+        page.paragraph(f"Welcome, customer #{c_id}!")
+        return ctx.respond(page)
+
+    def buy_request(ctx: AppContext) -> HttpResponse:
+        stub = container.lookup("Order", trace=ctx.trace)
+        try:
+            d = stub.buy_request(ctx.int_param("c_id", 1))
+        except KeyError:
+            return ctx.error("unknown customer", status=404)
+        page = _page("Buy Request")
+        page.paragraph(f"Customer: {d['fname']} {d['lname']}")
+        page.paragraph(f"Ship to: {d['street1']}, {d['city']}, {d['country']}")
+        page.table(["i_id", "title", "qty", "cost"],
+                   [(l["i_id"], l["title"], l["qty"], l["cost"])
+                    for l in d["lines"]])
+        return ctx.respond(page)
+
+    def buy_confirm(ctx: AppContext) -> HttpResponse:
+        stub = container.lookup("Order", trace=ctx.trace)
+        d = stub.buy_confirm(ctx.int_param("c_id", 1),
+                             ctx.str_param("cc_num", "4000123412341234"),
+                             ctx.str_param("cc_name", "CARD HOLDER"))
+        if not d["ok"]:
+            return ctx.error("no cart to purchase", status=409)
+        page = _page("Buy Confirm")
+        page.paragraph(
+            f"Order {d['order_id']} placed. Total: {d['total']:.2f}")
+        return ctx.respond(page)
+
+    def order_inquiry(ctx: AppContext) -> HttpResponse:
+        stub = container.lookup("Customer", trace=ctx.trace)
+        stub.refresh_session(ctx.int_param("c_id", 1))
+        page = _page("Order Inquiry")
+        page.form("/order_display", ["uname", "passwd"])
+        return ctx.respond(page)
+
+    def order_display(ctx: AppContext) -> HttpResponse:
+        stub = container.lookup("Order", trace=ctx.trace)
+        d = stub.order_display(ctx.str_param("uname", "customer1"))
+        if not d["ok"]:
+            return ctx.error("unknown customer", status=404)
+        page = _page("Order Display")
+        page.paragraph(f"Customer: {d['fname']} {d['lname']}")
+        order = d.get("order")
+        if order is None:
+            page.paragraph("No orders on file.")
+            return ctx.respond(page)
+        page.table(["id", "date", "subtotal", "tax", "total", "status"],
+                   [(order["id"], order["date"], order["subtotal"],
+                     order["tax"], order["total"], order["status"])])
+        page.table(["i_id", "title", "qty", "discount"],
+                   [(l["i_id"], l["title"], l["qty"], l["discount"])
+                    for l in d["lines"]])
+        if d["payment"]:
+            p = d["payment"]
+            page.table(["cc_type", "amount", "date"],
+                       [(p["type"], p["amount"], p["date"])])
+        return ctx.respond(page)
+
+    def admin_request(ctx: AppContext) -> HttpResponse:
+        stub = container.lookup("Admin", trace=ctx.trace)
+        try:
+            d = stub.admin_view(ctx.int_param("i_id", 1))
+        except KeyError:
+            return ctx.error("item not found", status=404)
+        page = _page("Admin Request")
+        page.table(["id", "title", "image", "thumbnail", "srp", "cost"],
+                   [(d["id"], d["title"], d["image"], d["thumbnail"],
+                     d["srp"], d["cost"])])
+        page.form("/admin_confirm", ["i_id", "image", "thumbnail", "cost"])
+        return ctx.respond(page)
+
+    def admin_confirm(ctx: AppContext) -> HttpResponse:
+        stub = container.lookup("Admin", trace=ctx.trace)
+        i_id = ctx.int_param("i_id", 1)
+        related = stub.admin_update(i_id, float(ctx.param("cost", 10.0)))
+        page = _page("Admin Confirm")
+        page.paragraph(f"Item {i_id} updated; related items: {related}")
+        return ctx.respond(page)
+
+    return {f"/{name}": fn for name, fn in (
+        ("home", home), ("new_products", new_products),
+        ("best_sellers", best_sellers), ("product_detail", product_detail),
+        ("search_request", search_request),
+        ("search_results", search_results),
+        ("shopping_cart", shopping_cart),
+        ("customer_registration", customer_registration),
+        ("buy_request", buy_request), ("buy_confirm", buy_confirm),
+        ("order_inquiry", order_inquiry), ("order_display", order_display),
+        ("admin_request", admin_request), ("admin_confirm", admin_confirm))}

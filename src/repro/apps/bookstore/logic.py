@@ -1,0 +1,432 @@
+"""The fourteen TPC-W interactions, written once against AppContext.
+
+The PHP and servlet deployments run these *same* functions -- so they
+issue exactly the same SQL, as the paper requires -- and only the
+context's locking policy differs (LOCK TABLES vs container sync locks).
+
+Interaction names follow TPC-W: home, new_products, best_sellers,
+product_detail, search_request, search_results, shopping_cart,
+customer_registration, buy_request, buy_confirm, order_inquiry,
+order_display, admin_request, admin_confirm.
+"""
+
+from __future__ import annotations
+
+from repro.apps.bookstore.datagen import BASE_TIME
+from repro.middleware.context import AppContext
+from repro.web.html import Page
+from repro.web.http import HttpResponse
+
+SITE = "Online Bookstore"
+
+# TPC-W shows the last 3,333 orders' sales for the best-sellers page.
+BEST_SELLER_WINDOW = 3_333
+NAV = ("home", "search", "shopcart", "order_status")
+
+
+def _page(title: str) -> Page:
+    page = Page(title, site=SITE)
+    page.nav_buttons(NAV)
+    return page
+
+
+def _item_rows_with_thumbs(page: Page, rows, columns) -> None:
+    """Standard item listing: table plus a thumbnail per item."""
+    page.table(columns, rows)
+    thumb_pos = columns.index("thumbnail") if "thumbnail" in columns else None
+    if thumb_pos is not None:
+        for row in rows:
+            if row[thumb_pos]:
+                page.add_image(row[thumb_pos])
+
+
+# ------------------------------------------------------------- read-only six
+
+def home(ctx: AppContext) -> HttpResponse:
+    """Greeting plus five promotional items."""
+    page = _page("Home")
+    c_id = ctx.int_param("c_id")
+    if c_id:
+        row = ctx.query(
+            "SELECT fname, lname FROM customers WHERE id = ?", (c_id,)).first()
+        if row:
+            page.paragraph(f"Welcome back, {row[0]} {row[1]}!")
+    subject = ctx.str_param("subject", "SUBJECT00")
+    promos = ctx.query(
+        "SELECT id, title, thumbnail FROM items WHERE subject = ? LIMIT 5",
+        (subject,))
+    _item_rows_with_thumbs(page, promos.rows, ["id", "title", "thumbnail"])
+    return ctx.respond(page)
+
+
+def new_products(ctx: AppContext) -> HttpResponse:
+    """The 50 newest items in a subject."""
+    subject = ctx.str_param("subject", "SUBJECT00")
+    result = ctx.query(
+        "SELECT i.id, i.title, i.pub_date, i.thumbnail, a.fname, a.lname "
+        "FROM items i JOIN authors a ON a.id = i.a_id "
+        "WHERE i.subject = ? ORDER BY i.pub_date DESC LIMIT 50",
+        (subject,))
+    page = _page("New Products")
+    _item_rows_with_thumbs(
+        page, result.rows,
+        ["id", "title", "pub_date", "thumbnail", "fname", "lname"])
+    return ctx.respond(page)
+
+
+def best_sellers(ctx: AppContext) -> HttpResponse:
+    """Top 50 items by quantity sold over the last 3,333 orders.
+
+    This is the heavy read query that saturates the database CPU in the
+    browsing mix.
+    """
+    subject = ctx.str_param("subject", "SUBJECT00")
+    max_order = ctx.query("SELECT MAX(id) FROM orders").scalar() or 0
+    window_start = max(0, max_order - BEST_SELLER_WINDOW)
+    result = ctx.query(
+        "SELECT i.id, i.title, a.fname, a.lname, SUM(ol.qty) AS qty_sold "
+        "FROM orders o "
+        "JOIN order_line ol ON ol.o_id = o.id "
+        "JOIN items i ON i.id = ol.i_id "
+        "JOIN authors a ON a.id = i.a_id "
+        "WHERE o.id > ? AND i.subject = ? "
+        "GROUP BY i.id ORDER BY qty_sold DESC LIMIT 50",
+        (window_start, subject))
+    page = _page("Best Sellers")
+    page.table(["id", "title", "fname", "lname", "qty_sold"], result.rows)
+    return ctx.respond(page)
+
+
+def product_detail(ctx: AppContext) -> HttpResponse:
+    i_id = ctx.int_param("i_id", 1)
+    row = ctx.query(
+        "SELECT i.id, i.title, i.description, i.image, i.srp, i.cost, "
+        "i.stock, i.isbn, i.page_count, i.backing, i.publisher, "
+        "a.fname, a.lname, a.bio "
+        "FROM items i JOIN authors a ON a.id = i.a_id WHERE i.id = ?",
+        (i_id,)).first()
+    page = _page("Product Detail")
+    if row is None:
+        return ctx.error(f"item {i_id} not found", status=404)
+    page.heading(row[1])
+    page.add_image(row[3], alt=row[1])
+    page.paragraph(row[2])
+    page.table(["srp", "cost", "stock", "isbn", "pages", "backing",
+                "publisher"], [row[4:11]])
+    page.paragraph(f"By {row[11]} {row[12]} -- {row[13]}")
+    return ctx.respond(page)
+
+
+def search_request(ctx: AppContext) -> HttpResponse:
+    """The search form: the one interaction that serves static content
+    only (no database access)."""
+    page = _page("Search Request")
+    page.form("/search_results", ["search_type", "search_string"])
+    return ctx.respond(page)
+
+
+def search_results(ctx: AppContext) -> HttpResponse:
+    """Search by subject (indexed), author (index + probe), or title
+    (LIKE -> full scan, the expensive variant)."""
+    search_type = ctx.str_param("search_type", "subject")
+    term = ctx.str_param("search_string", "SUBJECT00")
+    if search_type == "subject":
+        result = ctx.query(
+            "SELECT i.id, i.title, i.srp, i.thumbnail, a.fname, a.lname "
+            "FROM items i JOIN authors a ON a.id = i.a_id "
+            "WHERE i.subject = ? ORDER BY i.title LIMIT 50",
+            (term,))
+    elif search_type == "author":
+        result = ctx.query(
+            "SELECT i.id, i.title, i.srp, i.thumbnail, a.fname, a.lname "
+            "FROM authors a JOIN items i ON i.a_id = a.id "
+            "WHERE a.lname = ? ORDER BY i.title LIMIT 50",
+            (term,))
+    else:  # title
+        result = ctx.query(
+            "SELECT i.id, i.title, i.srp, i.thumbnail, a.fname, a.lname "
+            "FROM items i JOIN authors a ON a.id = i.a_id "
+            "WHERE i.title LIKE ? ORDER BY i.title LIMIT 50",
+            (term + "%",))
+    page = _page("Search Results")
+    _item_rows_with_thumbs(
+        page, result.rows,
+        ["id", "title", "srp", "thumbnail", "fname", "lname"])
+    return ctx.respond(page)
+
+
+# ------------------------------------------------------------ read-write eight
+
+def _find_cart(ctx: AppContext, c_id: int):
+    return ctx.query(
+        "SELECT id FROM orders WHERE c_id = ? AND status = 'cart'",
+        (c_id,)).scalar()
+
+
+def shopping_cart(ctx: AppContext) -> HttpResponse:
+    """Add an item to the customer's cart (creating it on first use),
+    then display the cart.  A classic read-modify-write critical section
+    over orders/order_line."""
+    c_id = ctx.int_param("c_id", 1)
+    i_id = ctx.int_param("i_id")
+    qty = ctx.int_param("qty", 1)
+    with ctx.exclusive([("orders", c_id), ("order_line", c_id)],
+                       read_tables=["items"]):
+        cart_id = _find_cart(ctx, c_id)
+        if cart_id is None:
+            ctx.update(
+                "INSERT INTO orders (c_id, date, subtotal, tax, total, "
+                "ship_type, ship_date, bill_addr_id, ship_addr_id, status) "
+                "VALUES (?, ?, 0.0, 0.0, 0.0, 'AIR', ?, 1, 1, 'cart')",
+                (c_id, BASE_TIME, BASE_TIME))
+            cart_id = ctx.last_insert_id
+        if i_id is not None:
+            existing = ctx.query(
+                "SELECT id, qty FROM order_line WHERE o_id = ? AND i_id = ?",
+                (cart_id, i_id)).first()
+            if existing is None:
+                ctx.update(
+                    "INSERT INTO order_line (o_id, i_id, qty, discount, "
+                    "comments) VALUES (?, ?, ?, 0.0, '')",
+                    (cart_id, i_id, qty))
+            else:
+                ctx.update(
+                    "UPDATE order_line SET qty = qty + ? WHERE id = ?",
+                    (qty, existing[0]))
+        lines = ctx.query(
+            "SELECT ol.i_id, i.title, ol.qty, i.cost "
+            "FROM order_line ol JOIN items i ON i.id = ol.i_id "
+            "WHERE ol.o_id = ?", (cart_id,))
+    page = _page("Shopping Cart")
+    page.table(["i_id", "title", "qty", "cost"], lines.rows)
+    total = sum(row[2] * row[3] for row in lines.rows)
+    page.paragraph(f"Cart total: {total:.2f}")
+    return ctx.respond(page)
+
+
+def customer_registration(ctx: AppContext) -> HttpResponse:
+    """Create a customer and address row (or show the form for repeat
+    visitors)."""
+    uname = ctx.str_param("new_uname", "")
+    if not uname:
+        page = _page("Customer Registration")
+        page.form("/customer_registration",
+                  ["new_uname", "passwd", "fname", "lname", "email"])
+        return ctx.respond(page)
+    with ctx.exclusive([("customers", uname), ("address", uname)],
+                       read_tables=["countries"]):
+        country = ctx.query(
+            "SELECT id FROM countries WHERE name = ?",
+            (ctx.str_param("country", "COUNTRY001"),)).scalar() or 1
+        ctx.update(
+            "INSERT INTO address (street1, street2, city, state, zip, "
+            "country_id) VALUES (?, '', ?, ?, ?, ?)",
+            (ctx.str_param("street1", "1 New St"),
+             ctx.str_param("city", "CITY01"), ctx.str_param("state", "ST01"),
+             ctx.str_param("zip", "11111"), country))
+        addr_id = ctx.last_insert_id
+        ctx.update(
+            "INSERT INTO customers (uname, passwd, fname, lname, addr_id, "
+            "phone, email, since, last_login, login, expiration, discount, "
+            "balance, ytd_pmt, birthdate, data) "
+            "VALUES (?, ?, ?, ?, ?, '555', ?, ?, ?, ?, ?, 0.0, 0.0, 0.0, "
+            "?, 'new customer')",
+            (uname, ctx.str_param("passwd", "pw"),
+             ctx.str_param("fname", "New"), ctx.str_param("lname", "Customer"),
+             addr_id, ctx.str_param("email", "new@example.com"),
+             BASE_TIME, BASE_TIME, BASE_TIME, BASE_TIME + 7200.0,
+             BASE_TIME - 9000 * 86400.0))
+        c_id = ctx.last_insert_id
+    page = _page("Customer Registration")
+    page.paragraph(f"Welcome, customer #{c_id}!")
+    return ctx.respond(page)
+
+
+def buy_request(ctx: AppContext) -> HttpResponse:
+    """Show the order summary before purchase; refreshes the session
+    (a small write -- TPC-W updates the customer's login/expiration)."""
+    c_id = ctx.int_param("c_id", 1)
+    with ctx.exclusive([("customers", c_id)],
+                       read_tables=["orders", "order_line", "items",
+                                    "address", "countries"]):
+        customer = ctx.query(
+            "SELECT id, fname, lname, addr_id, discount FROM customers "
+            "WHERE id = ?", (c_id,)).first()
+        if customer is None:
+            return ctx.error(f"unknown customer {c_id}", status=404)
+        ctx.update(
+            "UPDATE customers SET login = ?, expiration = ? WHERE id = ?",
+            (BASE_TIME, BASE_TIME + 7200.0, c_id))
+        cart_id = _find_cart(ctx, c_id)
+        lines = ctx.query(
+            "SELECT ol.i_id, i.title, ol.qty, i.cost "
+            "FROM order_line ol JOIN items i ON i.id = ol.i_id "
+            "WHERE ol.o_id = ?", (cart_id,)) if cart_id else None
+        address = ctx.query(
+            "SELECT a.street1, a.city, a.state, a.zip, co.name "
+            "FROM address a JOIN countries co ON co.id = a.country_id "
+            "WHERE a.id = ?", (customer[3],)).first()
+    page = _page("Buy Request")
+    page.paragraph(f"Customer: {customer[1]} {customer[2]}")
+    if address:
+        page.paragraph("Ship to: " + ", ".join(str(p) for p in address))
+    if lines is not None:
+        page.table(["i_id", "title", "qty", "cost"], lines.rows)
+    return ctx.respond(page)
+
+
+def buy_confirm(ctx: AppContext) -> HttpResponse:
+    """The purchase transaction: convert the cart into a placed order,
+    decrement stock, record credit-card info.  The widest write span in
+    the benchmark -- under DB locking it serializes five tables."""
+    c_id = ctx.int_param("c_id", 1)
+    with ctx.exclusive([("orders", c_id), ("order_line", c_id),
+                        ("credit_info", c_id), ("items", c_id),
+                        ("customers", c_id)]):
+        cart_id = _find_cart(ctx, c_id)
+        if cart_id is None:
+            return ctx.error("no cart to purchase", status=409)
+        lines = ctx.query(
+            "SELECT ol.i_id, ol.qty, i.cost, i.stock "
+            "FROM order_line ol JOIN items i ON i.id = ol.i_id "
+            "WHERE ol.o_id = ?", (cart_id,))
+        subtotal = sum(qty * cost for __, qty, cost, __s in lines.rows)
+        discount = ctx.query(
+            "SELECT discount FROM customers WHERE id = ?",
+            (c_id,)).scalar() or 0.0
+        subtotal *= (100.0 - discount) / 100.0
+        tax = subtotal * 0.0825
+        total = subtotal + tax + 3.0  # shipping
+        for i_id, qty, __cost, stock in lines.rows:
+            new_stock = stock - qty
+            if new_stock < 10:
+                new_stock += 21  # TPC-W restock rule
+            ctx.update("UPDATE items SET stock = ? WHERE id = ?",
+                       (new_stock, i_id))
+        ctx.update(
+            "UPDATE orders SET status = 'pending', date = ?, subtotal = ?, "
+            "tax = ?, total = ? WHERE id = ?",
+            (BASE_TIME, subtotal, tax, total, cart_id))
+        ctx.update(
+            "INSERT INTO credit_info (o_id, type, num, name, expire, "
+            "auth_id, amount, date, co_id) "
+            "VALUES (?, 'VISA', ?, ?, ?, 'AUTHOK', ?, ?, 1)",
+            (cart_id, ctx.str_param("cc_num", "4000123412341234"),
+             ctx.str_param("cc_name", "CARD HOLDER"),
+             BASE_TIME + 900 * 86400.0, total, BASE_TIME))
+        ctx.update(
+            "UPDATE customers SET ytd_pmt = ytd_pmt + ? WHERE id = ?",
+            (total, c_id))
+    page = _page("Buy Confirm")
+    page.paragraph(f"Order {cart_id} placed. Total: {total:.2f}")
+    return ctx.respond(page)
+
+
+def order_inquiry(ctx: AppContext) -> HttpResponse:
+    """Authentication form + login refresh (the light write that makes
+    TPC-W class this pair read-write)."""
+    c_id = ctx.int_param("c_id", 1)
+    with ctx.exclusive([("customers", c_id)]):
+        row = ctx.query(
+            "SELECT uname FROM customers WHERE id = ?", (c_id,)).first()
+        if row is not None:
+            ctx.update("UPDATE customers SET last_login = ? WHERE id = ?",
+                       (BASE_TIME, c_id))
+    page = _page("Order Inquiry")
+    page.form("/order_display", ["uname", "passwd"])
+    return ctx.respond(page)
+
+
+def order_display(ctx: AppContext) -> HttpResponse:
+    """The customer's most recent order with its lines and payment."""
+    uname = ctx.str_param("uname", "customer1")
+    customer = ctx.query(
+        "SELECT id, fname, lname FROM customers WHERE uname = ?",
+        (uname,)).first()
+    if customer is None:
+        return ctx.error(f"unknown customer {uname!r}", status=404)
+    order = ctx.query(
+        "SELECT id, date, subtotal, tax, total, status FROM orders "
+        "WHERE c_id = ? AND status != 'cart' ORDER BY id DESC LIMIT 1",
+        (customer[0],)).first()
+    page = _page("Order Display")
+    page.paragraph(f"Customer: {customer[1]} {customer[2]}")
+    if order is None:
+        page.paragraph("No orders on file.")
+        return ctx.respond(page)
+    page.table(["id", "date", "subtotal", "tax", "total", "status"], [order])
+    lines = ctx.query(
+        "SELECT ol.i_id, i.title, ol.qty, ol.discount "
+        "FROM order_line ol JOIN items i ON i.id = ol.i_id "
+        "WHERE ol.o_id = ?", (order[0],))
+    page.table(["i_id", "title", "qty", "discount"], lines.rows)
+    payment = ctx.query(
+        "SELECT type, amount, date FROM credit_info WHERE o_id = ?",
+        (order[0],)).first()
+    if payment:
+        page.table(["cc_type", "amount", "date"], [payment])
+    return ctx.respond(page)
+
+
+def admin_request(ctx: AppContext) -> HttpResponse:
+    """Admin view of an item before updating it."""
+    i_id = ctx.int_param("i_id", 1)
+    row = ctx.query(
+        "SELECT id, title, image, thumbnail, srp, cost FROM items "
+        "WHERE id = ?", (i_id,)).first()
+    page = _page("Admin Request")
+    if row is None:
+        return ctx.error(f"item {i_id} not found", status=404)
+    page.table(["id", "title", "image", "thumbnail", "srp", "cost"], [row])
+    page.form("/admin_confirm", ["i_id", "image", "thumbnail", "cost"])
+    return ctx.respond(page)
+
+
+def admin_confirm(ctx: AppContext) -> HttpResponse:
+    """Admin update: change the item's art and refresh its related-items
+    list from recent co-purchases (TPC-W's admin update)."""
+    i_id = ctx.int_param("i_id", 1)
+    with ctx.exclusive([("items", i_id)],
+                       read_tables=["orders", "order_line"]):
+        max_order = ctx.query("SELECT MAX(id) FROM orders").scalar() or 0
+        window_start = max(0, max_order - 1000)
+        related = ctx.query(
+            "SELECT ol.i_id, COUNT(*) AS cnt FROM orders o "
+            "JOIN order_line ol ON ol.o_id = o.id "
+            "WHERE o.id > ? AND ol.i_id != ? "
+            "GROUP BY ol.i_id ORDER BY cnt DESC LIMIT 5",
+            (window_start, i_id))
+        ids = [row[0] for row in related.rows]
+        while len(ids) < 5:
+            ids.append(i_id)
+        ctx.update(
+            "UPDATE items SET image = ?, thumbnail = ?, cost = ?, "
+            "related1 = ?, related2 = ?, related3 = ?, related4 = ?, "
+            "related5 = ? WHERE id = ?",
+            (ctx.str_param("image", f"/images/bookstore/image_{i_id}.gif"),
+             ctx.str_param("thumbnail",
+                           f"/images/bookstore/thumb_{i_id}.gif"),
+             float(ctx.param("cost", 10.0)),
+             ids[0], ids[1], ids[2], ids[3], ids[4], i_id))
+    page = _page("Admin Confirm")
+    page.paragraph(f"Item {i_id} updated; related items: {ids}")
+    return ctx.respond(page)
+
+
+# Interaction registry: name -> (handler, read_only?)
+INTERACTIONS = {
+    "home": (home, True),
+    "new_products": (new_products, True),
+    "best_sellers": (best_sellers, True),
+    "product_detail": (product_detail, True),
+    "search_request": (search_request, True),
+    "search_results": (search_results, True),
+    "shopping_cart": (shopping_cart, False),
+    "customer_registration": (customer_registration, False),
+    "buy_request": (buy_request, False),
+    "buy_confirm": (buy_confirm, False),
+    "order_inquiry": (order_inquiry, False),
+    "order_display": (order_display, False),
+    "admin_request": (admin_request, False),
+    "admin_confirm": (admin_confirm, False),
+}

@@ -1,0 +1,199 @@
+"""TPC-W bookstore schema: the paper's eight tables.
+
+``customers, address, orders, order_line, credit_info, items, authors,
+countries`` -- column sets follow TPC-W's table definitions trimmed to
+the fields the fourteen interactions touch.  ``stats.nominal_rows``
+carries the paper's full-scale cardinalities (10,000 items / 288,000
+customers) so the cost model prices full-scale work even when a reduced
+dataset is loaded.
+
+The shopping cart is carried in ``orders``/``order_line`` rows with
+``status = 'cart'`` -- the paper's schema has no ninth cart table, and
+this keeps cart updates real database writes as the read-write mixes
+require.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.db.schema import Column, ColumnType, IndexDef, TableSchema
+
+NUM_ITEMS = 10_000
+NUM_CUSTOMERS = 288_000
+NUM_COUNTRIES = 92
+NUM_SUBJECTS = 24
+
+SUBJECTS = [f"SUBJECT{i:02d}" for i in range(NUM_SUBJECTS)]
+
+C = Column
+T = ColumnType
+
+
+def bookstore_schemas() -> List[TableSchema]:
+    """The eight table schemas with full-scale nominal statistics."""
+    schemas = [
+        TableSchema(
+            name="countries",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("name", T.VARCHAR),
+                C("exchange", T.FLOAT),
+                C("currency", T.VARCHAR),
+            ],
+            primary_key="id", auto_increment=True),
+        TableSchema(
+            name="address",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("street1", T.VARCHAR),
+                C("street2", T.VARCHAR),
+                C("city", T.VARCHAR),
+                C("state", T.VARCHAR),
+                C("zip", T.VARCHAR),
+                C("country_id", T.INT),
+            ],
+            primary_key="id", auto_increment=True),
+        TableSchema(
+            name="customers",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("uname", T.VARCHAR),
+                C("passwd", T.VARCHAR),
+                C("fname", T.VARCHAR),
+                C("lname", T.VARCHAR),
+                C("addr_id", T.INT),
+                C("phone", T.VARCHAR),
+                C("email", T.VARCHAR),
+                C("since", T.DATETIME),
+                C("last_login", T.DATETIME),
+                C("login", T.DATETIME),
+                C("expiration", T.DATETIME),
+                C("discount", T.FLOAT),
+                C("balance", T.FLOAT),
+                C("ytd_pmt", T.FLOAT),
+                C("birthdate", T.DATETIME),
+                C("data", T.TEXT),
+            ],
+            primary_key="id", auto_increment=True,
+            indexes=[IndexDef("idx_cust_uname", ("uname",), unique=True,
+                              kind="hash")]),
+        TableSchema(
+            name="authors",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("fname", T.VARCHAR),
+                C("lname", T.VARCHAR),
+                C("mname", T.VARCHAR),
+                C("dob", T.DATETIME),
+                C("bio", T.TEXT),
+            ],
+            primary_key="id", auto_increment=True,
+            indexes=[IndexDef("idx_auth_lname", ("lname",))]),
+        TableSchema(
+            name="items",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("title", T.VARCHAR, byte_width=60),
+                C("a_id", T.INT),
+                C("pub_date", T.DATETIME),
+                C("publisher", T.VARCHAR),
+                C("subject", T.VARCHAR),
+                C("description", T.TEXT),
+                C("thumbnail", T.VARCHAR),
+                C("image", T.VARCHAR),
+                C("srp", T.FLOAT),
+                C("cost", T.FLOAT),
+                C("avail", T.DATETIME),
+                C("stock", T.INT),
+                C("isbn", T.VARCHAR),
+                C("page_count", T.INT),
+                C("backing", T.VARCHAR),
+                C("related1", T.INT),
+                C("related2", T.INT),
+                C("related3", T.INT),
+                C("related4", T.INT),
+                C("related5", T.INT),
+            ],
+            primary_key="id", auto_increment=True,
+            indexes=[
+                IndexDef("idx_item_subj_pub", ("subject", "pub_date")),
+                IndexDef("idx_item_subj_title", ("subject", "title")),
+                IndexDef("idx_item_title", ("title",)),
+                IndexDef("idx_item_author", ("a_id",)),
+                IndexDef("idx_item_pubdate", ("pub_date",)),
+            ]),
+        TableSchema(
+            name="orders",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("c_id", T.INT),
+                C("date", T.DATETIME),
+                C("subtotal", T.FLOAT),
+                C("tax", T.FLOAT),
+                C("total", T.FLOAT),
+                C("ship_type", T.VARCHAR),
+                C("ship_date", T.DATETIME),
+                C("bill_addr_id", T.INT),
+                C("ship_addr_id", T.INT),
+                C("status", T.VARCHAR),
+            ],
+            primary_key="id", auto_increment=True,
+            indexes=[IndexDef("idx_order_cust", ("c_id",))]),
+        TableSchema(
+            name="order_line",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("o_id", T.INT),
+                C("i_id", T.INT),
+                C("qty", T.INT),
+                C("discount", T.FLOAT),
+                C("comments", T.VARCHAR),
+            ],
+            primary_key="id", auto_increment=True,
+            indexes=[
+                IndexDef("idx_ol_order", ("o_id",)),
+                IndexDef("idx_ol_item", ("i_id",)),
+            ]),
+        TableSchema(
+            name="credit_info",
+            columns=[
+                C("id", T.INT, nullable=False),
+                C("o_id", T.INT),
+                C("type", T.VARCHAR),
+                C("num", T.VARCHAR),
+                C("name", T.VARCHAR),
+                C("expire", T.DATETIME),
+                C("auth_id", T.VARCHAR),
+                C("amount", T.FLOAT),
+                C("date", T.DATETIME),
+                C("co_id", T.INT),
+            ],
+            primary_key="id", auto_increment=True,
+            indexes=[IndexDef("idx_ci_order", ("o_id",))]),
+    ]
+    nominal = nominal_cardinalities()
+    for schema in schemas:
+        schema.stats.nominal_rows = nominal[schema.name]
+        # Columns whose per-key cardinality grows with table size (the
+        # cost model scales index probes on these; see db/cost.py).
+        if schema.name == "items":
+            schema.stats.distinct_values = {"subject": NUM_SUBJECTS}
+        elif schema.name == "authors":
+            schema.stats.distinct_values = {"lname": 500}
+    return schemas
+
+
+def nominal_cardinalities() -> Dict[str, int]:
+    """Full-scale row counts per TPC-W's scaling rules."""
+    orders = int(0.9 * NUM_CUSTOMERS)
+    return {
+        "countries": NUM_COUNTRIES,
+        "address": int(1.2 * NUM_CUSTOMERS),
+        "customers": NUM_CUSTOMERS,
+        "authors": NUM_ITEMS // 4,
+        "items": NUM_ITEMS,
+        "orders": orders,
+        "order_line": 3 * orders,
+        "credit_info": orders,
+    }

@@ -1,0 +1,45 @@
+"""An in-memory relational database engine with a SQL subset.
+
+This is the reproduction's stand-in for MySQL 3.23 with MyISAM tables: a
+real (if small) engine -- lexer, parser, planner, executor, hash and
+sorted indexes -- plus the two properties of MyISAM that drive the paper's
+results:
+
+* **table-level locking** with writer priority (no row locks, no MVCC),
+  including explicit ``LOCK TABLES``/``UNLOCK TABLES``;
+* a **cost model** that prices every executed query in CPU-seconds against
+  declared nominal table statistics, so the performance layer can charge
+  realistic service demands even when the dataset is scaled down.
+"""
+
+from repro.db.engine import Database, ResultSet
+from repro.db.schema import Column, ColumnType, IndexDef, TableSchema, TableStats
+from repro.db.errors import DatabaseError, LockError, SqlError
+from repro.db.cost import CostModel, QueryCost
+from repro.db.driver import (
+    Connection,
+    JdbcLikeDriver,
+    NativeDriver,
+    QueryRecord,
+    RecordingConnection,
+)
+
+__all__ = [
+    "Database",
+    "ResultSet",
+    "Column",
+    "ColumnType",
+    "IndexDef",
+    "TableSchema",
+    "TableStats",
+    "DatabaseError",
+    "SqlError",
+    "LockError",
+    "CostModel",
+    "QueryCost",
+    "Connection",
+    "NativeDriver",
+    "JdbcLikeDriver",
+    "RecordingConnection",
+    "QueryRecord",
+]

@@ -1,0 +1,343 @@
+"""The Database facade: catalog, plan cache, sessions, explicit locks.
+
+The functional engine executes statements immediately (it is
+single-threaded); explicit ``LOCK TABLES`` state is tracked per session
+and *enforced* the way MySQL enforces it -- while a session holds any
+explicit locks, touching an unlocked table (or writing a table locked
+only for READ) is an error.  This catches application code whose lock
+statements do not cover its queries, which is precisely the bug class
+the paper's sync-servlet rewrite had to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.db.cost import CostModel, QueryCost, TableScale, ZERO_COST
+from repro.db.errors import LockError, SqlError
+from repro.db.executor import ExecStats, SelectExecutor, run_delete, run_update
+from repro.db.exprs import Resolver, compile_expr
+from repro.db.planner import Planner
+from repro.db.schema import IndexDef, TableSchema
+from repro.db.sql import nodes as n
+from repro.db.sql.parser import parse
+from repro.db.storage import Table
+
+
+@dataclass
+class ResultSet:
+    """Outcome of one executed statement."""
+
+    columns: List[str] = field(default_factory=list)
+    rows: List[tuple] = field(default_factory=list)
+    stats: ExecStats = field(default_factory=ExecStats)
+    cost: QueryCost = ZERO_COST
+    last_insert_id: Optional[int] = None
+    kind: str = "select"
+
+    @property
+    def rowcount(self) -> int:
+        if self.kind == "select":
+            return len(self.rows)
+        return self.stats.rows_changed
+
+    def first(self) -> Optional[tuple]:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self):
+        """The single value of a single-row, single-column result."""
+        if not self.rows or not self.rows[0]:
+            return None
+        return self.rows[0][0]
+
+    def as_dicts(self) -> List[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class Session:
+    """Per-connection state: explicit lock set and last insert id."""
+
+    __slots__ = ("locks", "last_insert_id")
+
+    def __init__(self):
+        self.locks: Dict[str, str] = {}
+        self.last_insert_id: Optional[int] = None
+
+
+@dataclass
+class _Prepared:
+    """A parsed + planned statement, cached by SQL text."""
+
+    ast: object
+    kind: str
+    plan: object = None
+    insert_fns: Optional[list] = None
+    param_count: int = 0
+
+
+class Database:
+    """An in-memory database instance."""
+
+    def __init__(self, name: str = "db", cost_model: Optional[CostModel] = None):
+        self.name = name
+        self.tables: Dict[str, Table] = {}
+        self.cost_model = cost_model or CostModel()
+        self._plan_cache: Dict[str, _Prepared] = {}
+        self._planner = Planner(self.tables)
+        self.queries_executed = 0
+
+    # -- catalog -----------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self.tables:
+            raise SqlError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self.tables[schema.name] = table
+        self._plan_cache.clear()
+        return table
+
+    def create_index(self, table_name: str, index: IndexDef) -> None:
+        self.table(table_name).create_index(index)
+        self._plan_cache.clear()
+
+    def drop_table(self, name: str) -> None:
+        if name not in self.tables:
+            raise SqlError(f"no such table {name!r}")
+        del self.tables[name]
+        self._plan_cache.clear()
+
+    def table(self, name: str) -> Table:
+        table = self.tables.get(name)
+        if table is None:
+            raise SqlError(f"no such table {name!r}")
+        return table
+
+    def load_rows(self, table_name: str, rows: Sequence[dict]) -> int:
+        """Bulk-load dictionaries (data generators use this)."""
+        table = self.table(table_name)
+        for row in rows:
+            table.insert(row)
+        return len(rows)
+
+    def scale_context(self) -> Dict[str, TableScale]:
+        """Per-table scaling context for the cost model."""
+        ctx: Dict[str, TableScale] = {}
+        for name, table in self.tables.items():
+            stats = table.schema.stats
+            ctx[name] = TableScale(nominal=stats.nominal_rows,
+                                   loaded=len(table),
+                                   distinct=stats.distinct_values)
+        return ctx
+
+    def open_session(self) -> Session:
+        return Session()
+
+    # -- statement preparation ------------------------------------------------------
+
+    def _prepare(self, sql: str) -> _Prepared:
+        prepared = self._plan_cache.get(sql)
+        if prepared is not None:
+            return prepared
+        ast, param_count = parse(sql)
+        if isinstance(ast, n.Select):
+            prepared = _Prepared(ast=ast, kind="select",
+                                 plan=self._planner.plan_select(ast),
+                                 param_count=param_count)
+        elif isinstance(ast, n.Update):
+            prepared = _Prepared(ast=ast, kind="update",
+                                 plan=self._planner.plan_update(ast),
+                                 param_count=param_count)
+        elif isinstance(ast, n.Delete):
+            prepared = _Prepared(ast=ast, kind="delete",
+                                 plan=self._planner.plan_delete(ast),
+                                 param_count=param_count)
+        elif isinstance(ast, n.Insert):
+            table = self.table(ast.table)
+            resolver = Resolver({ast.table: table})
+            fns = [compile_expr(v, resolver) for v in ast.values]
+            prepared = _Prepared(ast=ast, kind="insert", insert_fns=fns,
+                                 param_count=param_count)
+        elif isinstance(ast, n.LockTables):
+            prepared = _Prepared(ast=ast, kind="lock", param_count=param_count)
+        elif isinstance(ast, n.UnlockTables):
+            prepared = _Prepared(ast=ast, kind="unlock", param_count=param_count)
+        elif isinstance(ast, n.CreateTable):
+            prepared = _Prepared(ast=ast, kind="create_table",
+                                 param_count=param_count)
+        elif isinstance(ast, n.CreateIndex):
+            prepared = _Prepared(ast=ast, kind="create_index",
+                                 param_count=param_count)
+        elif isinstance(ast, n.Transaction):
+            prepared = _Prepared(ast=ast, kind="txn", param_count=param_count)
+        elif isinstance(ast, n.Explain):
+            inner = ast.inner
+            if isinstance(inner, n.Select):
+                plan = self._planner.plan_select(inner)
+            elif isinstance(inner, n.Update):
+                plan = self._planner.plan_update(inner)
+            elif isinstance(inner, n.Delete):
+                plan = self._planner.plan_delete(inner)
+            else:
+                raise SqlError("EXPLAIN supports SELECT/UPDATE/DELETE only")
+            prepared = _Prepared(ast=ast, kind="explain", plan=plan,
+                                 param_count=param_count)
+        else:  # pragma: no cover - parser covers the statement space
+            raise SqlError(f"unsupported statement: {sql!r}")
+        # DDL invalidates the cache, so only cache DML/queries.
+        if prepared.kind not in ("create_table", "create_index"):
+            self._plan_cache[sql] = prepared
+        return prepared
+
+    # -- lock enforcement ------------------------------------------------------------
+
+    def _check_locks(self, session: Session, read: Sequence[str],
+                     written: Sequence[str]) -> None:
+        if not session.locks:
+            return
+        for table in read:
+            if table not in session.locks:
+                raise LockError(
+                    f"table {table!r} was not locked with LOCK TABLES")
+        for table in written:
+            if session.locks.get(table) != "WRITE":
+                raise LockError(
+                    f"table {table!r} was not locked for WRITE")
+
+    # -- execution --------------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence = (),
+                session: Optional[Session] = None) -> ResultSet:
+        """Parse (cached), plan (cached), and run one statement."""
+        prepared = self._prepare(sql)
+        params = tuple(params)
+        if len(params) != prepared.param_count:
+            raise SqlError(
+                f"statement takes {prepared.param_count} parameters, "
+                f"got {len(params)}: {sql!r}")
+        self.queries_executed += 1
+        session = session or _EPHEMERAL_SESSION
+        kind = prepared.kind
+        if kind == "select":
+            return self._run_select(prepared, params, session)
+        if kind == "insert":
+            return self._run_insert(prepared, params, session)
+        if kind == "update":
+            self._check_locks(session, (prepared.ast.table,),
+                              (prepared.ast.table,))
+            stats = run_update(prepared.plan, params)
+            cost = self.cost_model.price(stats, self.scale_context())
+            return ResultSet(stats=stats, cost=cost, kind="update",
+                             last_insert_id=session.last_insert_id)
+        if kind == "delete":
+            self._check_locks(session, (prepared.ast.table,),
+                              (prepared.ast.table,))
+            stats = run_delete(prepared.plan, params)
+            cost = self.cost_model.price(stats, self.scale_context())
+            return ResultSet(stats=stats, cost=cost, kind="delete",
+                             last_insert_id=session.last_insert_id)
+        if kind == "lock":
+            if session.locks:
+                # MySQL releases previously-held locks implicitly.
+                session.locks.clear()
+            for table, mode in prepared.ast.locks:
+                self.table(table)  # must exist
+                session.locks[table] = mode
+            cost = self.cost_model.price(
+                ExecStats(), self.scale_context(), lock_statements=1)
+            return ResultSet(kind="lock", cost=cost)
+        if kind == "unlock":
+            session.locks.clear()
+            cost = self.cost_model.price(
+                ExecStats(), self.scale_context(), lock_statements=1)
+            return ResultSet(kind="unlock", cost=cost)
+        if kind == "create_table":
+            self.create_table(prepared.ast.schema)
+            return ResultSet(kind="create_table")
+        if kind == "create_index":
+            self.create_index(prepared.ast.table, prepared.ast.index)
+            return ResultSet(kind="create_index")
+        if kind == "txn":
+            # MyISAM: BEGIN/COMMIT/ROLLBACK are accepted no-ops.
+            return ResultSet(kind="txn")
+        if kind == "explain":
+            return self._run_explain(prepared)
+        raise SqlError(f"unsupported statement kind {kind!r}")  # pragma: no cover
+
+    def _run_select(self, prepared: _Prepared, params: tuple,
+                    session: Session) -> ResultSet:
+        plan = prepared.plan
+        self._check_locks(session, plan.tables_read, ())
+        executor = SelectExecutor(plan, params)
+        rows = executor.run()
+        result_bytes = _estimate_result_bytes(rows)
+        cost = self.cost_model.price(executor.stats, self.scale_context(),
+                                     result_bytes=result_bytes)
+        return ResultSet(columns=list(plan.output_names), rows=rows,
+                         stats=executor.stats, cost=cost, kind="select",
+                         last_insert_id=session.last_insert_id)
+
+    def _run_insert(self, prepared: _Prepared, params: tuple,
+                    session: Session) -> ResultSet:
+        ast = prepared.ast
+        self._check_locks(session, (), (ast.table,))
+        table = self.table(ast.table)
+        values = [fn({}, params) for fn in prepared.insert_fns]
+        if ast.columns:
+            mapping = dict(zip(ast.columns, values))
+        else:
+            names = table.schema.column_names()
+            if len(values) != len(names):
+                raise SqlError(
+                    f"INSERT into {ast.table!r} expects {len(names)} values, "
+                    f"got {len(values)}")
+            mapping = dict(zip(names, values))
+        rowid = table.insert(mapping)
+        stats = ExecStats(rows_changed=1, tables_written=(ast.table,))
+        if table.schema.auto_increment:
+            pk_pos = table.column_pos(table.schema.primary_key)
+            session.last_insert_id = table.get_row(rowid)[pk_pos]
+        cost = self.cost_model.price(stats, self.scale_context())
+        return ResultSet(stats=stats, cost=cost, kind="insert",
+                         last_insert_id=session.last_insert_id)
+
+
+    def _run_explain(self, prepared: _Prepared) -> ResultSet:
+        """Describe the chosen access plan, one row per table access."""
+        plan = prepared.plan
+        paths = plan.paths if hasattr(plan, "paths") else [plan.path]
+        rows = []
+        for path in paths:
+            index_name = path.index.name if path.index is not None else None
+            extra = []
+            if getattr(path, "ordered", False) or path.kind == "index_order":
+                extra.append("ordered")
+            if path.filter_fn is not None:
+                extra.append("filter")
+            rows.append((path.alias, path.table.name, path.kind,
+                         index_name, ", ".join(extra)))
+        if hasattr(plan, "has_aggregates") and plan.has_aggregates:
+            rows.append(("", "", "aggregate", None, ""))
+        if hasattr(plan, "order_items") and plan.order_items and \
+                not getattr(plan, "ordered_by_index", False):
+            rows.append(("", "", "sort", None, ""))
+        return ResultSet(
+            columns=["alias", "table", "access", "index", "notes"],
+            rows=rows, kind="explain")
+
+
+_EPHEMERAL_SESSION = Session()
+
+
+def _estimate_result_bytes(rows: List[tuple]) -> int:
+    """Approximate wire size of a result set."""
+    total = 0
+    for row in rows:
+        for value in row:
+            if value is None:
+                total += 4
+            elif isinstance(value, str):
+                total += len(value)
+            else:
+                total += 8
+    return total

@@ -1,0 +1,18 @@
+"""Database error hierarchy."""
+
+
+class DatabaseError(Exception):
+    """Base class for every engine error."""
+
+
+class SqlError(DatabaseError):
+    """Lexing, parsing, binding, or semantic error in a statement."""
+
+
+class LockError(DatabaseError):
+    """Illegal lock usage (e.g. touching an unlocked table while holding
+    explicit LOCK TABLES locks, which MySQL rejects)."""
+
+
+class IntegrityError(DatabaseError):
+    """Primary-key or unique-index violation."""

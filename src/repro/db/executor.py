@@ -1,0 +1,427 @@
+"""Plan execution with row-accounting statistics.
+
+The executor reports, per query, how many rows it *examined* split by
+access kind (scanned vs index-probed).  The cost model uses that split:
+scanned rows scale linearly with table size while index-probe result
+sizes stay constant when the data generator keeps per-entity relation
+sizes fixed, which lets a scaled-down dataset produce full-scale costs.
+
+Sorting with mixed ASC/DESC directions uses repeated stable sorts from
+the least- to the most-significant key, so no comparator inversion
+tricks are needed.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.db.errors import SqlError
+from repro.db.exprs import Resolver, compile_expr
+from repro.db.index import SortedIndex
+from repro.db.planner import AccessPath, DmlPlan, SelectPlan
+from repro.db.sql import nodes as n
+
+
+@dataclass
+class ExecStats:
+    """Row accounting for one executed statement.
+
+    ``rows_examined_index`` is keyed by ``(table, lead_column)`` so the
+    cost model can apply per-column cardinality scaling; ``lead_column``
+    is the first column of the index the path used.
+    """
+
+    rows_examined_scan: Dict[str, int] = field(default_factory=dict)
+    rows_examined_index: Dict[tuple, int] = field(default_factory=dict)
+    rows_returned: int = 0
+    rows_changed: int = 0
+    sort_rows: int = 0
+    tables_read: tuple = ()
+    tables_written: tuple = ()
+
+    def total_examined(self) -> int:
+        return (sum(self.rows_examined_scan.values()) +
+                sum(self.rows_examined_index.values()))
+
+    def indexed_for_table(self, table_name: str) -> int:
+        """Total indexed-examined rows for one table (test helper)."""
+        return sum(count for (table, __), count
+                   in self.rows_examined_index.items() if table == table_name)
+
+    def bump(self, path_kind: str, table_name: str, count: int = 1,
+             lead_column: Optional[str] = None) -> None:
+        if path_kind == "scan":
+            self.rows_examined_scan[table_name] = \
+                self.rows_examined_scan.get(table_name, 0) + count
+        else:
+            key = (table_name, lead_column)
+            self.rows_examined_index[key] = \
+                self.rows_examined_index.get(key, 0) + count
+
+
+def _sort_key(value):
+    """Total-orderable key: None first, then numbers, then strings."""
+    if value is None:
+        return (0, 0, "")
+    if isinstance(value, bool):
+        return (1, int(value), "")
+    if isinstance(value, (int, float)):
+        return (1, value, "")
+    return (2, 0, str(value))
+
+
+def _prefix_rowids(index: SortedIndex, key: tuple) -> list:
+    """Row ids whose sorted-index key starts with ``key``."""
+    entries = index._entries
+    lo = bisect.bisect_left(entries, (key, -1))
+    out = []
+    klen = len(key)
+    while lo < len(entries) and entries[lo][0][:klen] == key:
+        out.append(entries[lo][1])
+        lo += 1
+    return out
+
+
+class SelectExecutor:
+    """Executes a SelectPlan; one instance per call (stats are per-call)."""
+
+    def __init__(self, plan: SelectPlan, params: tuple):
+        self.plan = plan
+        self.params = params
+        self.stats = ExecStats(tables_read=plan.tables_read)
+
+    # -- access paths ---------------------------------------------------------
+
+    def _fetch(self, path: AccessPath, env: dict):
+        """Yield rows of ``path.table`` matching the path, updating env."""
+        table = path.table
+        stats = self.stats
+        params = self.params
+        if path.kind == "index_eq":
+            key = tuple(fn(env, params) for fn in path.key_fns)
+            if len(key) < len(path.index.columns) and \
+                    isinstance(path.index, SortedIndex):
+                rowids = _prefix_rowids(path.index, key)
+                if path.ordered and path.descending:
+                    rowids.reverse()
+            else:
+                rowids = path.index.lookup(key)
+        elif path.kind == "index_range":
+            low = (path.low_fn(env, params),) if path.low_fn else None
+            high = (path.high_fn(env, params),) if path.high_fn else None
+            rowids = path.index.range(low, high, path.low_inclusive,
+                                      path.high_inclusive)
+        elif path.kind == "index_order":
+            rowids = path.index.scan(descending=path.descending)
+        else:
+            rowids = table.scan()
+        kind = "scan" if path.kind == "scan" else "index"
+        # Ordered accesses are LIMIT-bounded by early termination, so
+        # their examined count is limit-driven, not selectivity-driven:
+        # record them unscaled (lead None) for the cost model.
+        if path.kind == "index_order" or path.ordered or \
+                path.index is None:
+            lead = None
+        else:
+            lead = path.index.columns[0]
+        filter_fn = path.filter_fn
+        alias = path.alias
+        for rowid in rowids:
+            row = table.get_row(rowid)
+            if row is None:
+                continue
+            stats.bump(kind, table.name, lead_column=lead)
+            env[alias] = row
+            if filter_fn is None or filter_fn(env, params):
+                yield row
+
+    def _join_rows(self):
+        """Generate fully-joined environments (dicts alias -> row)."""
+        plan = self.plan
+        params = self.params
+        paths = plan.paths
+        outer = plan.outer_flags
+
+        def recurse(depth: int, env: dict):
+            if depth == len(paths):
+                if plan.post_filter is None or plan.post_filter(env, params):
+                    yield env
+                return
+            path = paths[depth]
+            matched = False
+            for __ in self._fetch(path, env):
+                matched = True
+                yield from recurse(depth + 1, env)
+            if not matched and outer[depth]:
+                env[path.alias] = [None] * len(path.table.schema.columns)
+                yield from recurse(depth + 1, env)
+            env.pop(path.alias, None)
+
+        yield from recurse(0, {})
+
+    # -- aggregation ------------------------------------------------------------
+
+    def _run_aggregate(self) -> List[tuple]:
+        plan = self.plan
+        params = self.params
+        resolver = plan.resolver
+
+        agg_nodes: List[n.Aggregate] = []
+
+        def collect(expr):
+            if isinstance(expr, n.Aggregate):
+                if expr not in agg_nodes:
+                    agg_nodes.append(expr)
+            elif isinstance(expr, n.BinaryOp):
+                collect(expr.left)
+                collect(expr.right)
+
+        for expr in plan.item_exprs:
+            collect(expr)
+        if plan.having_expr is not None:
+            collect(plan.having_expr)
+
+        arg_fns = {agg: compile_expr(agg.arg, resolver)
+                   for agg in agg_nodes if agg.arg is not None}
+
+        group_state: Dict[tuple, dict] = {}
+        group_env: Dict[tuple, dict] = {}
+        for env in self._join_rows():
+            key = tuple(fn(env, params) for fn in plan.group_fns)
+            state = group_state.get(key)
+            if state is None:
+                state = {agg: _new_acc(agg) for agg in agg_nodes}
+                group_state[key] = state
+                group_env[key] = {alias: list(row)
+                                  for alias, row in env.items()}
+            for agg in agg_nodes:
+                if agg.arg is None:
+                    state[agg][0] += 1        # COUNT(*)
+                else:
+                    _accumulate(state[agg], agg, arg_fns[agg](env, params))
+
+        if not group_state and not plan.group_fns:
+            group_state[()] = {agg: _new_acc(agg) for agg in agg_nodes}
+            group_env[()] = {}
+
+        rows = []
+        for key, state in group_state.items():
+            env = group_env[key]
+            values = {agg: _finalize(state[agg], agg) for agg in agg_nodes}
+            if plan.having_expr is not None:
+                if not _eval_with_aggs(plan.having_expr, env, params,
+                                       resolver, values):
+                    continue
+            rows.append(tuple(
+                _eval_with_aggs(expr, env, params, resolver, values)
+                for expr in plan.item_exprs))
+        return rows
+
+    # -- ordering / limiting ------------------------------------------------------
+
+    def _limits(self):
+        params = self.params
+        limit = offset = None
+        if self.plan.limit_fn is not None:
+            limit = int(self.plan.limit_fn({}, params))
+        if self.plan.offset_fn is not None:
+            offset = int(self.plan.offset_fn({}, params))
+        return limit, offset or 0
+
+    def _sort_projected(self, rows: List[tuple]) -> List[tuple]:
+        """Sort by order items that name projected columns."""
+        plan = self.plan
+        names = plan.output_names
+        self.stats.sort_rows += len(rows)
+        for fn, descending, alias_name in reversed(plan.order_items):
+            if alias_name is None or alias_name not in names:
+                raise SqlError(
+                    "ORDER BY in an aggregate query must reference a "
+                    "projected column alias")
+            pos = names.index(alias_name)
+            rows.sort(key=lambda row, pos=pos: _sort_key(row[pos]),
+                      reverse=descending)
+        return rows
+
+    # -- main -------------------------------------------------------------------
+
+    def run(self) -> List[tuple]:
+        plan = self.plan
+        params = self.params
+        limit, offset = self._limits()
+
+        if plan.has_aggregates:
+            rows = self._run_aggregate()
+            if plan.order_items:
+                rows = self._sort_projected(rows)
+            if limit is not None or offset:
+                rows = rows[offset:] if limit is None \
+                    else rows[offset:offset + limit]
+            self.stats.rows_returned = len(rows)
+            return rows
+
+        item_fns = [compile_expr(e, plan.resolver) for e in plan.item_exprs]
+        needs_sort = bool(plan.order_items) and not plan.ordered_by_index
+        order_fns = []
+        if needs_sort:
+            for fn, descending, alias_name in plan.order_items:
+                if fn is None:
+                    raise SqlError("unresolvable ORDER BY expression")
+                order_fns.append((fn, descending))
+
+        early_stop = (plan.ordered_by_index and not plan.distinct and
+                      limit is not None)
+        want = None if limit is None else limit + offset
+
+        keyed: List[tuple] = []
+        for env in self._join_rows():
+            projected = tuple(fn(env, params) for fn in item_fns)
+            if needs_sort:
+                keys = tuple(fn(env, params) for fn, __ in order_fns)
+                keyed.append((keys, projected))
+            else:
+                keyed.append((None, projected))
+                if early_stop and len(keyed) >= want:
+                    break
+
+        if needs_sort:
+            self.stats.sort_rows += len(keyed)
+            for pos in range(len(order_fns) - 1, -1, -1):
+                descending = order_fns[pos][1]
+                keyed.sort(key=lambda kr, pos=pos: _sort_key(kr[0][pos]),
+                           reverse=descending)
+
+        rows = [projected for __, projected in keyed]
+        if plan.distinct:
+            rows = list(dict.fromkeys(rows))
+        rows = rows[offset:] if limit is None else rows[offset:offset + limit]
+        self.stats.rows_returned = len(rows)
+        return rows
+
+
+def _new_acc(agg: n.Aggregate) -> list:
+    # [count, sum, min, max, distinct_set]
+    return [0, 0.0, None, None, set() if agg.distinct else None]
+
+
+def _accumulate(acc: list, agg: n.Aggregate, value) -> None:
+    if value is None:
+        return
+    if agg.distinct:
+        if value in acc[4]:
+            return
+        acc[4].add(value)
+    acc[0] += 1
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        acc[1] += value
+    if acc[2] is None or _sort_key(value) < _sort_key(acc[2]):
+        acc[2] = value
+    if acc[3] is None or _sort_key(value) > _sort_key(acc[3]):
+        acc[3] = value
+
+
+def _finalize(acc: list, agg: n.Aggregate):
+    count, total, minimum, maximum, __ = acc
+    if agg.func == "COUNT":
+        return count
+    if agg.func == "SUM":
+        return total if count else None
+    if agg.func == "MIN":
+        return minimum
+    if agg.func == "MAX":
+        return maximum
+    if agg.func == "AVG":
+        return total / count if count else None
+    raise SqlError(f"unknown aggregate {agg.func!r}")
+
+
+def _eval_with_aggs(expr, env, params, resolver: Resolver, agg_values: dict):
+    """Evaluate an expression that may contain (pre-computed) aggregates."""
+    if isinstance(expr, n.Aggregate):
+        return agg_values[expr]
+    if isinstance(expr, n.BinaryOp):
+        left = _eval_with_aggs(expr.left, env, params, resolver, agg_values)
+        right = _eval_with_aggs(expr.right, env, params, resolver, agg_values)
+        if expr.op in ("+", "-", "*", "/"):
+            if left is None or right is None:
+                return None
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            return left / right if right else None
+        if left is None or right is None:
+            return False
+        return {"=": left == right, "!=": left != right, "<": left < right,
+                "<=": left <= right, ">": left > right,
+                ">=": left >= right}[expr.op]
+    return compile_expr(expr, resolver)(env, params)
+
+
+# ------------------------------------------------------------------ DML
+
+def run_update(plan: DmlPlan, params: tuple) -> ExecStats:
+    stats = ExecStats(tables_written=(plan.path.table.name,),
+                      tables_read=(plan.path.table.name,))
+    table = plan.path.table
+    env: dict = {}
+    # Collect matching rowids first so the update does not see its own
+    # writes (halloween protection).
+    matches = [rowid for rowid, __ in _iter_path(plan.path, env, params, stats)]
+    alias = plan.path.alias
+    for rowid in matches:
+        row = table.get_row(rowid)
+        if row is None:
+            continue
+        env[alias] = row
+        changes = {col: fn(env, params) for col, fn in plan.assignments}
+        table.update_row(rowid, changes)
+        stats.rows_changed += 1
+    return stats
+
+
+def run_delete(plan: DmlPlan, params: tuple) -> ExecStats:
+    stats = ExecStats(tables_written=(plan.path.table.name,),
+                      tables_read=(plan.path.table.name,))
+    table = plan.path.table
+    env: dict = {}
+    matches = [rowid for rowid, __ in _iter_path(plan.path, env, params, stats)]
+    for rowid in matches:
+        table.delete_row(rowid)
+        stats.rows_changed += 1
+    return stats
+
+
+def _iter_path(path: AccessPath, env: dict, params: tuple, stats: ExecStats):
+    """Yield (rowid, row) pairs matching a single-table access path."""
+    table = path.table
+    if path.kind == "index_eq":
+        key = tuple(fn(env, params) for fn in path.key_fns)
+        if len(key) < len(path.index.columns) and \
+                isinstance(path.index, SortedIndex):
+            rowids = _prefix_rowids(path.index, key)
+        else:
+            rowids = path.index.lookup(key)
+    elif path.kind == "index_range":
+        low = (path.low_fn(env, params),) if path.low_fn else None
+        high = (path.high_fn(env, params),) if path.high_fn else None
+        rowids = path.index.range(low, high, path.low_inclusive,
+                                  path.high_inclusive)
+    elif path.kind == "index_order":
+        rowids = path.index.scan(descending=path.descending)
+    else:
+        rowids = table.scan()
+    kind = "scan" if path.kind == "scan" else "index"
+    lead = path.index.columns[0] if path.index is not None else None
+    for rowid in list(rowids):
+        row = table.get_row(rowid)
+        if row is None:
+            continue
+        stats.bump(kind, table.name, lead_column=lead)
+        env[path.alias] = row
+        if path.filter_fn is None or path.filter_fn(env, params):
+            yield rowid, row

@@ -1,0 +1,6 @@
+"""SQL front-end: lexer, AST nodes, and recursive-descent parser."""
+
+from repro.db.sql.lexer import Token, tokenize
+from repro.db.sql.parser import parse
+
+__all__ = ["Token", "tokenize", "parse"]

@@ -1,0 +1,146 @@
+"""SQL tokenizer.
+
+Produces a flat token list; keywords are case-insensitive, identifiers
+keep their case, strings accept single or double quotes with backslash
+escapes, and both ``?`` (JDBC style) and ``%s`` (PHP/MySQL-extension
+style) denote positional parameters -- both middleware stacks in the
+paper are represented, so both spellings are accepted everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.db.errors import SqlError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "ASC",
+    "DESC", "LIMIT", "OFFSET", "JOIN", "INNER", "LEFT", "ON", "AS", "AND",
+    "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL", "INSERT", "INTO",
+    "VALUES", "UPDATE", "SET", "DELETE", "LOCK", "UNLOCK", "TABLES", "READ",
+    "WRITE", "CREATE", "TABLE", "INDEX", "UNIQUE", "PRIMARY", "KEY",
+    "AUTO_INCREMENT", "USING", "HASH", "INT", "INTEGER", "FLOAT", "VARCHAR",
+    "TEXT", "DATETIME", "COUNT", "SUM", "MIN", "MAX", "AVG", "BEGIN",
+    "COMMIT", "ROLLBACK", "HAVING", "EXPLAIN",
+}
+
+PUNCT = {
+    "(": "LPAREN", ")": "RPAREN", ",": "COMMA", "*": "STAR", "=": "EQ",
+    "<": "LT", ">": "GT", "+": "PLUS", "-": "MINUS", "/": "SLASH",
+    ".": "DOT", ";": "SEMI", "?": "PARAM",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str        # KEYWORD, IDENT, INT, FLOAT, STRING, PARAM, or punct kind
+    value: object
+    pos: int
+
+    def is_kw(self, *names: str) -> bool:
+        return self.kind == "KEYWORD" and self.value in names
+
+
+def tokenize(sql: str) -> List[Token]:
+    tokens: List[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            nl = sql.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if ch == "%" and sql.startswith("%s", i):
+            tokens.append(Token("PARAM", "%s", i))
+            i += 2
+            continue
+        if ch in ("'", '"'):
+            i = _string(sql, i, tokens)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            i = _number(sql, i, tokens)
+            continue
+        if ch.isalpha() or ch == "_" or ch == "`":
+            i = _word(sql, i, tokens)
+            continue
+        two = sql[i:i + 2]
+        if two in ("<=", ">=", "!=", "<>"):
+            kind = {"<=": "LE", ">=": "GE", "!=": "NE", "<>": "NE"}[two]
+            tokens.append(Token(kind, two, i))
+            i += 2
+            continue
+        if ch in PUNCT:
+            tokens.append(Token(PUNCT[ch], ch, i))
+            i += 1
+            continue
+        raise SqlError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", None, n))
+    return tokens
+
+
+def _string(sql: str, i: int, tokens: List[Token]) -> int:
+    quote = sql[i]
+    start = i
+    i += 1
+    parts: List[str] = []
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "\\" and i + 1 < n:
+            parts.append(sql[i + 1])
+            i += 2
+            continue
+        if ch == quote:
+            # MySQL doubles the quote to escape it.
+            if i + 1 < n and sql[i + 1] == quote:
+                parts.append(quote)
+                i += 2
+                continue
+            tokens.append(Token("STRING", "".join(parts), start))
+            return i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlError(f"unterminated string starting at position {start}")
+
+
+def _number(sql: str, i: int, tokens: List[Token]) -> int:
+    start = i
+    n = len(sql)
+    seen_dot = False
+    while i < n and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+        if sql[i] == ".":
+            # A trailing dot followed by non-digit is punctuation, not float.
+            if i + 1 >= n or not sql[i + 1].isdigit():
+                break
+            seen_dot = True
+        i += 1
+    text = sql[start:i]
+    if seen_dot:
+        tokens.append(Token("FLOAT", float(text), start))
+    else:
+        tokens.append(Token("INT", int(text), start))
+    return i
+
+
+def _word(sql: str, i: int, tokens: List[Token]) -> int:
+    start = i
+    n = len(sql)
+    if sql[i] == "`":
+        end = sql.find("`", i + 1)
+        if end < 0:
+            raise SqlError(f"unterminated quoted identifier at {i}")
+        tokens.append(Token("IDENT", sql[i + 1:end], start))
+        return end + 1
+    while i < n and (sql[i].isalnum() or sql[i] == "_"):
+        i += 1
+    word = sql[start:i]
+    upper = word.upper()
+    if upper in KEYWORDS:
+        tokens.append(Token("KEYWORD", upper, start))
+    else:
+        tokens.append(Token("IDENT", word, start))
+    return i

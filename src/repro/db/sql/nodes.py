@@ -1,0 +1,179 @@
+"""AST node definitions for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# ----------------------------------------------------------------- expressions
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly-qualified column reference (``t.col`` or ``col``)."""
+    table: Optional[str]
+    column: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+
+@dataclass(frozen=True)
+class Param:
+    """A positional parameter (``?`` or ``%s``)."""
+    index: int
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Arithmetic or comparison: op in (+ - * / = != < <= > >=)."""
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """AND / OR over two or more operands."""
+    op: str                # "AND" | "OR"
+    operands: Tuple
+
+
+@dataclass(frozen=True)
+class NotOp:
+    operand: object
+
+
+@dataclass(frozen=True)
+class LikeOp:
+    operand: object
+    pattern: object        # Literal or Param
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InOp:
+    operand: object
+    choices: Tuple
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BetweenOp:
+    operand: object
+    low: object
+    high: object
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNullOp:
+    operand: object
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """COUNT/SUM/MIN/MAX/AVG; arg is None for COUNT(*)."""
+    func: str
+    arg: Optional[object]
+    distinct: bool = False
+
+
+# ------------------------------------------------------------------ statements
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: object
+    alias: Optional[str] = None
+    star: bool = False             # bare * or t.*
+    star_table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class Join:
+    table: TableRef
+    condition: object              # expression (normally col = col)
+    outer: bool = False            # LEFT JOIN
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: object
+    descending: bool = False
+
+
+@dataclass
+class Select:
+    items: List[SelectItem]
+    table: Optional[TableRef]
+    joins: List[Join] = field(default_factory=list)
+    where: Optional[object] = None
+    group_by: List[object] = field(default_factory=list)
+    having: Optional[object] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[object] = None      # Literal/Param or None
+    offset: Optional[object] = None
+    distinct: bool = False
+
+
+@dataclass
+class Insert:
+    table: str
+    columns: List[str]
+    values: List[object]                # expressions
+
+
+@dataclass
+class Update:
+    table: str
+    assignments: List[Tuple[str, object]]
+    where: Optional[object] = None
+
+
+@dataclass
+class Delete:
+    table: str
+    where: Optional[object] = None
+
+
+@dataclass
+class LockTables:
+    """LOCK TABLES t1 READ, t2 WRITE, ... -- (table, mode) pairs."""
+    locks: List[Tuple[str, str]]        # mode is "READ" or "WRITE"
+
+
+@dataclass
+class UnlockTables:
+    pass
+
+
+@dataclass
+class CreateTable:
+    schema: object                      # a TableSchema
+
+
+@dataclass
+class CreateIndex:
+    table: str
+    index: object                       # an IndexDef
+
+
+@dataclass
+class Transaction:
+    """BEGIN / COMMIT / ROLLBACK -- no-ops under MyISAM, kept for parity."""
+    action: str
+
+
+@dataclass
+class Explain:
+    """EXPLAIN <statement>: returns the chosen plan instead of rows."""
+    inner: object

@@ -1,0 +1,525 @@
+"""Recursive-descent parser for the SQL subset.
+
+The subset covers everything the two benchmark applications issue: joined
+SELECTs with aggregates, grouping, ordering and limits; INSERT/UPDATE/
+DELETE; explicit LOCK TABLES/UNLOCK TABLES (the MyISAM consistency idiom
+the paper's PHP and non-sync servlet code rely on); CREATE TABLE/INDEX;
+and no-op transaction statements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.db.errors import SqlError
+from repro.db.schema import Column, ColumnType, IndexDef, TableSchema
+from repro.db.sql.lexer import Token, tokenize
+from repro.db.sql import nodes as n
+
+AGG_FUNCS = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+COMPARISONS = {"EQ": "=", "NE": "!=", "LT": "<", "LE": "<=", "GT": ">", "GE": ">="}
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.pos = 0
+        self.param_count = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    def accept_kw(self, *names: str) -> Optional[Token]:
+        if self.peek().is_kw(*names):
+            return self.next()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise SqlError(
+                f"expected {kind} but found {tok.value!r} at {tok.pos} "
+                f"in: {self.sql!r}")
+        return tok
+
+    def expect_kw(self, *names: str) -> Token:
+        tok = self.next()
+        if not tok.is_kw(*names):
+            raise SqlError(
+                f"expected {'/'.join(names)} but found {tok.value!r} at "
+                f"{tok.pos} in: {self.sql!r}")
+        return tok
+
+    def ident(self) -> str:
+        tok = self.next()
+        if tok.kind == "IDENT":
+            return tok.value
+        # Permit non-reserved-feeling keywords as identifiers where
+        # unambiguous (e.g. a column named "comment" vs COMMIT is fine,
+        # but KEY/READ etc. appear as column names in period schemas).
+        if tok.kind == "KEYWORD" and tok.value in ("KEY", "READ", "WRITE", "TEXT"):
+            return tok.value.lower()
+        raise SqlError(
+            f"expected identifier but found {tok.value!r} at {tok.pos} "
+            f"in: {self.sql!r}")
+
+    # -- entry point -------------------------------------------------------------
+
+    def parse_statement(self):
+        tok = self.peek()
+        if tok.is_kw("EXPLAIN"):
+            self.next()
+            inner = self.parse_statement()
+            return n.Explain(inner=inner)
+        if tok.is_kw("SELECT"):
+            stmt = self.select()
+        elif tok.is_kw("INSERT"):
+            stmt = self.insert()
+        elif tok.is_kw("UPDATE"):
+            stmt = self.update()
+        elif tok.is_kw("DELETE"):
+            stmt = self.delete()
+        elif tok.is_kw("LOCK"):
+            stmt = self.lock_tables()
+        elif tok.is_kw("UNLOCK"):
+            self.next()
+            self.expect_kw("TABLES")
+            stmt = n.UnlockTables()
+        elif tok.is_kw("CREATE"):
+            stmt = self.create()
+        elif tok.is_kw("BEGIN", "COMMIT", "ROLLBACK"):
+            stmt = n.Transaction(self.next().value)
+        else:
+            raise SqlError(f"cannot parse statement: {self.sql!r}")
+        self.accept("SEMI")
+        tok = self.peek()
+        if tok.kind != "EOF":
+            raise SqlError(
+                f"trailing tokens from {tok.value!r} at {tok.pos} "
+                f"in: {self.sql!r}")
+        return stmt
+
+    # -- SELECT ------------------------------------------------------------------
+
+    def select(self) -> n.Select:
+        self.expect_kw("SELECT")
+        distinct = bool(self.accept_kw("DISTINCT"))
+        items = [self.select_item()]
+        while self.accept("COMMA"):
+            items.append(self.select_item())
+
+        table = None
+        joins: List[n.Join] = []
+        if self.accept_kw("FROM"):
+            table = self.table_ref()
+            while True:
+                if self.accept("COMMA"):
+                    joins.append(n.Join(self.table_ref(), condition=None))
+                    continue
+                outer = False
+                if self.peek().is_kw("LEFT"):
+                    self.next()
+                    outer = True
+                elif self.peek().is_kw("INNER"):
+                    self.next()
+                elif not self.peek().is_kw("JOIN"):
+                    break
+                self.expect_kw("JOIN")
+                ref = self.table_ref()
+                self.expect_kw("ON")
+                cond = self.expr()
+                joins.append(n.Join(ref, cond, outer=outer))
+
+        where = self.expr() if self.accept_kw("WHERE") else None
+
+        group_by: List[object] = []
+        if self.accept_kw("GROUP"):
+            self.expect_kw("BY")
+            group_by.append(self.expr())
+            while self.accept("COMMA"):
+                group_by.append(self.expr())
+
+        having = self.expr() if self.accept_kw("HAVING") else None
+
+        order_by: List[n.OrderItem] = []
+        if self.accept_kw("ORDER"):
+            self.expect_kw("BY")
+            order_by.append(self.order_item())
+            while self.accept("COMMA"):
+                order_by.append(self.order_item())
+
+        limit = offset = None
+        if self.accept_kw("LIMIT"):
+            first = self.limit_value()
+            if self.accept("COMMA"):       # LIMIT offset, count
+                offset = first
+                limit = self.limit_value()
+            elif self.accept_kw("OFFSET"):
+                limit = first
+                offset = self.limit_value()
+            else:
+                limit = first
+
+        return n.Select(items=items, table=table, joins=joins, where=where,
+                        group_by=group_by, having=having, order_by=order_by,
+                        limit=limit, offset=offset, distinct=distinct)
+
+    def select_item(self) -> n.SelectItem:
+        tok = self.peek()
+        if tok.kind == "STAR":
+            self.next()
+            return n.SelectItem(expr=None, star=True)
+        if tok.kind == "IDENT" and self.peek(1).kind == "DOT" \
+                and self.peek(2).kind == "STAR":
+            table = self.next().value
+            self.next()
+            self.next()
+            return n.SelectItem(expr=None, star=True, star_table=table)
+        expr = self.expr()
+        alias = None
+        if self.accept_kw("AS"):
+            alias = self.ident()
+        elif self.peek().kind == "IDENT":
+            alias = self.next().value
+        return n.SelectItem(expr=expr, alias=alias)
+
+    def table_ref(self) -> n.TableRef:
+        name = self.ident()
+        alias = name
+        if self.accept_kw("AS"):
+            alias = self.ident()
+        elif self.peek().kind == "IDENT":
+            alias = self.next().value
+        return n.TableRef(name=name, alias=alias)
+
+    def order_item(self) -> n.OrderItem:
+        expr = self.expr()
+        descending = False
+        if self.accept_kw("DESC"):
+            descending = True
+        else:
+            self.accept_kw("ASC")
+        return n.OrderItem(expr=expr, descending=descending)
+
+    def limit_value(self):
+        tok = self.next()
+        if tok.kind == "INT":
+            return n.Literal(tok.value)
+        if tok.kind == "PARAM":
+            self.param_count += 1
+            return n.Param(self.param_count - 1)
+        raise SqlError(f"bad LIMIT value {tok.value!r} in: {self.sql!r}")
+
+    # -- DML ---------------------------------------------------------------------
+
+    def insert(self) -> n.Insert:
+        self.expect_kw("INSERT")
+        self.expect_kw("INTO")
+        table = self.ident()
+        columns: List[str] = []
+        if self.accept("LPAREN"):
+            columns.append(self.ident())
+            while self.accept("COMMA"):
+                columns.append(self.ident())
+            self.expect("RPAREN")
+        self.expect_kw("VALUES")
+        self.expect("LPAREN")
+        values = [self.expr()]
+        while self.accept("COMMA"):
+            values.append(self.expr())
+        self.expect("RPAREN")
+        if columns and len(columns) != len(values):
+            raise SqlError(
+                f"INSERT has {len(columns)} columns but {len(values)} values")
+        return n.Insert(table=table, columns=columns, values=values)
+
+    def update(self) -> n.Update:
+        self.expect_kw("UPDATE")
+        table = self.ident()
+        self.expect_kw("SET")
+        assignments = [self.assignment()]
+        while self.accept("COMMA"):
+            assignments.append(self.assignment())
+        where = self.expr() if self.accept_kw("WHERE") else None
+        return n.Update(table=table, assignments=assignments, where=where)
+
+    def assignment(self):
+        col = self.ident()
+        self.expect("EQ")
+        return (col, self.expr())
+
+    def delete(self) -> n.Delete:
+        self.expect_kw("DELETE")
+        self.expect_kw("FROM")
+        table = self.ident()
+        where = self.expr() if self.accept_kw("WHERE") else None
+        return n.Delete(table=table, where=where)
+
+    def lock_tables(self) -> n.LockTables:
+        self.expect_kw("LOCK")
+        self.expect_kw("TABLES")
+        locks = []
+        while True:
+            table = self.ident()
+            mode = self.expect_kw("READ", "WRITE").value
+            locks.append((table, mode))
+            if not self.accept("COMMA"):
+                break
+        return n.LockTables(locks=locks)
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def create(self):
+        self.expect_kw("CREATE")
+        if self.accept_kw("TABLE"):
+            return self.create_table()
+        unique = bool(self.accept_kw("UNIQUE"))
+        self.expect_kw("INDEX")
+        return self.create_index(unique)
+
+    def create_table(self) -> n.CreateTable:
+        name = self.ident()
+        self.expect("LPAREN")
+        columns: List[Column] = []
+        primary_key = None
+        auto_increment = False
+        while True:
+            if self.peek().is_kw("PRIMARY"):
+                self.next()
+                self.expect_kw("KEY")
+                self.expect("LPAREN")
+                primary_key = self.ident()
+                self.expect("RPAREN")
+            else:
+                col_name = self.ident()
+                col_type = self.column_type()
+                nullable = True
+                default = None
+                while True:
+                    if self.accept_kw("NOT"):
+                        self.expect_kw("NULL")
+                        nullable = False
+                    elif self.accept_kw("NULL"):
+                        nullable = True
+                    elif self.accept_kw("AUTO_INCREMENT"):
+                        auto_increment = True
+                        primary_key = primary_key or col_name
+                    elif self.peek().is_kw("PRIMARY"):
+                        self.next()
+                        self.expect_kw("KEY")
+                        primary_key = col_name
+                    elif self.peek().kind == "IDENT" and \
+                            self.peek().value.upper() == "DEFAULT":
+                        self.next()
+                        default = self.literal_value()
+                    else:
+                        break
+                columns.append(Column(name=col_name, type=col_type,
+                                      nullable=nullable, default=default))
+            if not self.accept("COMMA"):
+                break
+        self.expect("RPAREN")
+        schema = TableSchema(name=name, columns=columns,
+                             primary_key=primary_key,
+                             auto_increment=auto_increment)
+        return n.CreateTable(schema=schema)
+
+    def column_type(self) -> ColumnType:
+        tok = self.next()
+        if tok.is_kw("INT", "INTEGER"):
+            return ColumnType.INT
+        if tok.is_kw("FLOAT"):
+            return ColumnType.FLOAT
+        if tok.is_kw("VARCHAR"):
+            if self.accept("LPAREN"):
+                self.expect("INT")
+                self.expect("RPAREN")
+            return ColumnType.VARCHAR
+        if tok.is_kw("TEXT"):
+            return ColumnType.TEXT
+        if tok.is_kw("DATETIME"):
+            return ColumnType.DATETIME
+        raise SqlError(f"unknown column type {tok.value!r} in: {self.sql!r}")
+
+    def create_index(self, unique: bool) -> n.CreateIndex:
+        name = self.ident()
+        self.expect_kw("ON")
+        table = self.ident()
+        self.expect("LPAREN")
+        columns = [self.ident()]
+        while self.accept("COMMA"):
+            columns.append(self.ident())
+        self.expect("RPAREN")
+        kind = "sorted"
+        if self.accept_kw("USING"):
+            self.expect_kw("HASH")
+            kind = "hash"
+        index = IndexDef(name=name, columns=tuple(columns),
+                         unique=unique, kind=kind)
+        return n.CreateIndex(table=table, index=index)
+
+    def literal_value(self):
+        tok = self.next()
+        if tok.kind in ("INT", "FLOAT", "STRING"):
+            return tok.value
+        if tok.is_kw("NULL"):
+            return None
+        raise SqlError(f"expected literal, found {tok.value!r}")
+
+    # -- expressions -------------------------------------------------------------
+
+    def expr(self):
+        return self.or_expr()
+
+    def or_expr(self):
+        operands = [self.and_expr()]
+        while self.accept_kw("OR"):
+            operands.append(self.and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return n.BoolOp(op="OR", operands=tuple(operands))
+
+    def and_expr(self):
+        operands = [self.not_expr()]
+        while self.accept_kw("AND"):
+            operands.append(self.not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return n.BoolOp(op="AND", operands=tuple(operands))
+
+    def not_expr(self):
+        if self.accept_kw("NOT"):
+            return n.NotOp(self.not_expr())
+        return self.predicate()
+
+    def predicate(self):
+        left = self.additive()
+        tok = self.peek()
+        if tok.kind in COMPARISONS:
+            self.next()
+            right = self.additive()
+            return n.BinaryOp(op=COMPARISONS[tok.kind], left=left, right=right)
+        if tok.is_kw("IS"):
+            self.next()
+            negated = bool(self.accept_kw("NOT"))
+            self.expect_kw("NULL")
+            return n.IsNullOp(operand=left, negated=negated)
+        negated = False
+        if tok.is_kw("NOT"):
+            nxt = self.peek(1)
+            if nxt.is_kw("LIKE", "IN", "BETWEEN"):
+                self.next()
+                negated = True
+                tok = self.peek()
+        if tok.is_kw("LIKE"):
+            self.next()
+            pattern = self.primary()
+            return n.LikeOp(operand=left, pattern=pattern, negated=negated)
+        if tok.is_kw("IN"):
+            self.next()
+            self.expect("LPAREN")
+            choices = [self.expr()]
+            while self.accept("COMMA"):
+                choices.append(self.expr())
+            self.expect("RPAREN")
+            return n.InOp(operand=left, choices=tuple(choices), negated=negated)
+        if tok.is_kw("BETWEEN"):
+            self.next()
+            low = self.additive()
+            self.expect_kw("AND")
+            high = self.additive()
+            return n.BetweenOp(operand=left, low=low, high=high, negated=negated)
+        return left
+
+    def additive(self):
+        left = self.multiplicative()
+        while True:
+            tok = self.peek()
+            if tok.kind == "PLUS":
+                self.next()
+                left = n.BinaryOp(op="+", left=left, right=self.multiplicative())
+            elif tok.kind == "MINUS":
+                self.next()
+                left = n.BinaryOp(op="-", left=left, right=self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self):
+        left = self.unary()
+        while True:
+            tok = self.peek()
+            if tok.kind == "STAR":
+                self.next()
+                left = n.BinaryOp(op="*", left=left, right=self.unary())
+            elif tok.kind == "SLASH":
+                self.next()
+                left = n.BinaryOp(op="/", left=left, right=self.unary())
+            else:
+                return left
+
+    def unary(self):
+        if self.accept("MINUS"):
+            operand = self.unary()
+            if isinstance(operand, n.Literal) and \
+                    isinstance(operand.value, (int, float)):
+                return n.Literal(-operand.value)
+            return n.BinaryOp(op="-", left=n.Literal(0), right=operand)
+        return self.primary()
+
+    def primary(self):
+        tok = self.peek()
+        if tok.kind in ("INT", "FLOAT", "STRING"):
+            self.next()
+            return n.Literal(tok.value)
+        if tok.is_kw("NULL"):
+            self.next()
+            return n.Literal(None)
+        if tok.kind == "PARAM":
+            self.next()
+            self.param_count += 1
+            return n.Param(self.param_count - 1)
+        if tok.kind == "LPAREN":
+            self.next()
+            inner = self.expr()
+            self.expect("RPAREN")
+            return inner
+        if tok.is_kw(*AGG_FUNCS):
+            func = self.next().value
+            self.expect("LPAREN")
+            if self.accept("STAR"):
+                agg = n.Aggregate(func=func, arg=None)
+            else:
+                distinct = bool(self.accept_kw("DISTINCT"))
+                agg = n.Aggregate(func=func, arg=self.expr(), distinct=distinct)
+            self.expect("RPAREN")
+            return agg
+        if tok.kind == "IDENT" or tok.kind == "KEYWORD":
+            name = self.ident()
+            if self.peek().kind == "DOT":
+                self.next()
+                column = self.ident()
+                return n.ColumnRef(table=name, column=column)
+            return n.ColumnRef(table=None, column=name)
+        raise SqlError(
+            f"unexpected token {tok.value!r} at {tok.pos} in: {self.sql!r}")
+
+
+def parse(sql: str):
+    """Parse a single SQL statement; returns (ast, parameter_count)."""
+    parser = _Parser(sql)
+    stmt = parser.parse_statement()
+    return stmt, parser.param_count

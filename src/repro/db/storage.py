@@ -1,0 +1,212 @@
+"""Row storage: a heap of rows per table plus maintained indexes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.db.errors import IntegrityError, SqlError
+from repro.db.index import HashIndex, SortedIndex, make_index
+from repro.db.schema import IndexDef, TableSchema
+
+
+class Table:
+    """A heap of rows with tombstone deletion and index maintenance.
+
+    Row ids are positions in the row array; deleted slots hold ``None``.
+    The primary key (when declared) is backed by a unique index; an
+    INT auto-increment primary key is assigned on insert when the caller
+    passes ``None``, mirroring MySQL.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.name = schema.name
+        self._colmap: Dict[str, int] = {
+            col.name: pos for pos, col in enumerate(schema.columns)}
+        self._rows: List[Optional[list]] = []
+        self._live = 0
+        self._next_auto = 1
+        self.indexes: Dict[str, object] = {}
+        if schema.primary_key is not None:
+            self._add_index(IndexDef(
+                name=f"pk_{schema.name}", columns=(schema.primary_key,),
+                unique=True, kind="sorted"))
+        for index_def in schema.indexes:
+            self._add_index(index_def)
+
+    # -- shape ----------------------------------------------------------------
+
+    def column_pos(self, name: str) -> int:
+        try:
+            return self._colmap[name]
+        except KeyError:
+            raise SqlError(
+                f"table {self.name!r} has no column {name!r}") from None
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def next_auto_increment(self) -> int:
+        return self._next_auto
+
+    # -- index plumbing ---------------------------------------------------------
+
+    def _add_index(self, index_def: IndexDef) -> None:
+        if index_def.name in self.indexes:
+            raise SqlError(f"duplicate index name {index_def.name!r}")
+        for col in index_def.columns:
+            self.column_pos(col)  # validates existence
+        index = make_index(index_def.kind, index_def.name,
+                           index_def.columns, index_def.unique)
+        # Backfill existing rows.
+        for rowid, row in enumerate(self._rows):
+            if row is not None:
+                index.insert(self._key_of(index, row), rowid)
+        self.indexes[index_def.name] = index
+
+    def create_index(self, index_def: IndexDef) -> None:
+        """Add a secondary index after table creation."""
+        self._add_index(index_def)
+
+    def _key_of(self, index, row: Sequence) -> tuple:
+        return tuple(row[self._colmap[c]] for c in index.columns)
+
+    def index_on(self, columns: Sequence[str]):
+        """The first index whose leading columns equal ``columns``, or None."""
+        want = tuple(columns)
+        for index in self.indexes.values():
+            if tuple(index.columns[:len(want)]) == want:
+                return index
+        return None
+
+    def sorted_index_on(self, columns: Sequence[str]) -> Optional[SortedIndex]:
+        want = tuple(columns)
+        for index in self.indexes.values():
+            if isinstance(index, SortedIndex) and \
+                    tuple(index.columns[:len(want)]) == want:
+                return index
+        return None
+
+    # -- row operations -----------------------------------------------------------
+
+    def insert(self, values: Dict[str, object]) -> int:
+        """Insert one row from a column->value mapping; returns the rowid.
+
+        Missing columns get their declared defaults; an omitted (or None)
+        auto-increment key is assigned the next counter value.
+        """
+        row = []
+        for col in self.schema.columns:
+            if col.name in values:
+                value = col.type.coerce(values[col.name])
+            else:
+                value = col.default
+            row.append(value)
+        unknown = set(values) - set(self._colmap)
+        if unknown:
+            raise SqlError(
+                f"insert into {self.name!r}: unknown columns {sorted(unknown)}")
+
+        pk = self.schema.primary_key
+        if pk is not None:
+            pk_pos = self._colmap[pk]
+            if row[pk_pos] is None:
+                if not self.schema.auto_increment:
+                    raise IntegrityError(
+                        f"table {self.name!r}: NULL primary key")
+                row[pk_pos] = self._next_auto
+                self._next_auto += 1
+            elif self.schema.auto_increment and isinstance(row[pk_pos], int):
+                self._next_auto = max(self._next_auto, row[pk_pos] + 1)
+
+        for col, value in zip(self.schema.columns, row):
+            if value is None and not col.nullable and col.name != pk:
+                raise IntegrityError(
+                    f"table {self.name!r}: column {col.name!r} is NOT NULL")
+            if not col.type.accepts(value):
+                raise SqlError(
+                    f"table {self.name!r}.{col.name}: {value!r} is not "
+                    f"a {col.type.value}")
+
+        rowid = len(self._rows)
+        # Validate unique indexes *before* mutating any of them so a
+        # violation leaves every index untouched.
+        inserted = []
+        try:
+            self._rows.append(row)
+            for index in self.indexes.values():
+                index.insert(self._key_of(index, row), rowid)
+                inserted.append(index)
+        except IntegrityError:
+            for index in inserted:
+                index.delete(self._key_of(index, row), rowid)
+            self._rows.pop()
+            raise
+        self._live += 1
+        return rowid
+
+    def delete_row(self, rowid: int) -> None:
+        row = self._rows[rowid]
+        if row is None:
+            return
+        for index in self.indexes.values():
+            index.delete(self._key_of(index, row), rowid)
+        self._rows[rowid] = None
+        self._live -= 1
+
+    def update_row(self, rowid: int, changes: Dict[str, object]) -> None:
+        row = self._rows[rowid]
+        if row is None:
+            raise SqlError(f"update of deleted row {rowid} in {self.name!r}")
+        touched = [name for name in changes if name in self._colmap]
+        if len(touched) != len(changes):
+            unknown = set(changes) - set(self._colmap)
+            raise SqlError(
+                f"update {self.name!r}: unknown columns {sorted(unknown)}")
+        affected = [
+            index for index in self.indexes.values()
+            if any(c in changes for c in index.columns)]
+        old_image = list(row)
+        old_keys = [(index, self._key_of(index, row)) for index in affected]
+        for index, key in old_keys:
+            index.delete(key, rowid)
+        reinserted = []
+        try:
+            for name, value in changes.items():
+                col = self.schema.column(name)
+                coerced = col.type.coerce(value)
+                if not col.type.accepts(coerced):
+                    raise SqlError(
+                        f"table {self.name!r}.{name}: {value!r} is not "
+                        f"a {col.type.value}")
+                row[self._colmap[name]] = coerced
+            for index in affected:
+                index.insert(self._key_of(index, row), rowid)
+                reinserted.append(index)
+        except (IntegrityError, SqlError):
+            # Restore the row image and the original index entries.
+            for index in reinserted:
+                index.delete(self._key_of(index, row), rowid)
+            row[:] = old_image
+            for index, key in old_keys:
+                index.insert(key, rowid)
+            raise
+
+    def get_row(self, rowid: int) -> Optional[list]:
+        if 0 <= rowid < len(self._rows):
+            return self._rows[rowid]
+        return None
+
+    def scan(self) -> Iterator[int]:
+        """Yield live row ids in heap order."""
+        for rowid, row in enumerate(self._rows):
+            if row is not None:
+                yield rowid
+
+    def rows_as_dicts(self) -> Iterator[Dict[str, object]]:
+        """Convenience for tests and data generators."""
+        names = self.schema.column_names()
+        for row in self._rows:
+            if row is not None:
+                yield dict(zip(names, row))

@@ -1,0 +1,18 @@
+"""Per-figure experiment modules.
+
+Each ``figNN`` module regenerates one figure of the paper's evaluation
+(Figures 5-14).  Throughput figures (5, 7, 9, 11, 13) and their
+CPU-utilization companions (6, 8, 10, 12, 14) share the same sweep, so
+companion modules reuse the cached report of their throughput sibling.
+
+Run one directly::
+
+    python -m repro.experiments.fig05           # quick grid
+    python -m repro.experiments.fig05 --full    # paper-scale grid
+
+or use :func:`repro.experiments.registry.run_figure`.
+"""
+
+from repro.experiments.registry import FIGURES, figure_spec, run_figure
+
+__all__ = ["FIGURES", "figure_spec", "run_figure"]

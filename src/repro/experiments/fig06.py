@@ -1,0 +1,19 @@
+"""Regenerate the bookstore CPU utilization at peak, shopping mix (Figure 6)."""
+
+from repro.experiments.registry import main, render_figure, run_figure
+
+FIGURE_ID = "fig06"
+
+
+def run(full: bool = False):
+    """Run the sweep and return the ExperimentReport."""
+    return run_figure(FIGURE_ID, full=full)
+
+
+def render(full: bool = False) -> str:
+    """The figure as printable text."""
+    return render_figure(FIGURE_ID, full=full)
+
+
+if __name__ == "__main__":
+    main(FIGURE_ID)

@@ -1,0 +1,19 @@
+"""Regenerate the bookstore throughput vs clients, ordering mix (Figure 9)."""
+
+from repro.experiments.registry import main, render_figure, run_figure
+
+FIGURE_ID = "fig09"
+
+
+def run(full: bool = False):
+    """Run the sweep and return the ExperimentReport."""
+    return run_figure(FIGURE_ID, full=full)
+
+
+def render(full: bool = False) -> str:
+    """The figure as printable text."""
+    return render_figure(FIGURE_ID, full=full)
+
+
+if __name__ == "__main__":
+    main(FIGURE_ID)

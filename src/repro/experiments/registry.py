@@ -1,0 +1,60 @@
+"""Figure registry: map figure ids to runnable experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.common import (
+    ALL_FIGURE_SPECS,
+    FigureSpec,
+    run_figure_spec,
+)
+from repro.metrics.report import ExperimentReport
+
+# figure id -> (spec, kind) where kind is "throughput" or "cpu".
+FIGURES: Dict[str, Tuple[FigureSpec, str]] = {}
+for _spec in ALL_FIGURE_SPECS:
+    FIGURES[_spec.throughput_figure] = (_spec, "throughput")
+    FIGURES[_spec.cpu_figure] = (_spec, "cpu")
+
+
+def figure_spec(figure_id: str) -> FigureSpec:
+    try:
+        return FIGURES[figure_id][0]
+    except KeyError:
+        raise KeyError(f"unknown figure {figure_id!r}; have "
+                       f"{sorted(FIGURES)}") from None
+
+
+def run_figure(figure_id: str, full: bool = False,
+               configurations=None) -> ExperimentReport:
+    """Run the sweep behind a figure and return its report."""
+    spec, __ = FIGURES[figure_id]
+    return run_figure_spec(spec, full=full, configurations=configurations)
+
+
+def render_figure(figure_id: str, full: bool = False) -> str:
+    """The figure as printable text (throughput table or CPU bars)."""
+    spec, kind = FIGURES[figure_id]
+    report = run_figure_spec(spec, full=full)
+    if kind == "cpu":
+        return report.render_cpu_table()
+    return report.render_throughput_table()
+
+
+def main(figure_id: str, argv=None) -> None:
+    """CLI entry point shared by the figNN modules."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description=f"Regenerate {figure_id} of Cecchet et al. 2003")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale client grid and phase durations")
+    parser.add_argument("--csv", metavar="PATH",
+                        help="also write the sweep data as CSV")
+    args = parser.parse_args(argv)
+    print(render_figure(figure_id, full=args.full))
+    if args.csv:
+        spec, __ = FIGURES[figure_id]
+        run_figure_spec(spec, full=args.full).save_csv(args.csv)
+        print(f"\n[csv written to {args.csv}]")

@@ -1,0 +1,19 @@
+"""Experiment harness: profiling, calibration, sweeps, peak finding."""
+
+from repro.harness.profiles import (
+    AppProfile,
+    InteractionProfile,
+    InteractionVariant,
+    profile_application,
+)
+from repro.harness.experiment import ExperimentSpec, run_experiment, run_sweep
+
+__all__ = [
+    "AppProfile",
+    "InteractionProfile",
+    "InteractionVariant",
+    "profile_application",
+    "ExperimentSpec",
+    "run_experiment",
+    "run_sweep",
+]

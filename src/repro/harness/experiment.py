@@ -1,0 +1,132 @@
+"""Experiment execution: ramp-up / measurement / ramp-down, and sweeps.
+
+The measurement methodology follows the paper (§4.5): the system runs a
+ramp-up phase to reach steady state, a measurement phase during which
+throughput and sysstat samples are collected, and a ramp-down phase so
+pending requests drain while measurement is already closed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Optional
+
+from repro.harness.profiles import AppProfile
+from repro.metrics.report import (
+    ConfigurationSeries,
+    CpuUtilization,
+    ExperimentReport,
+    ThroughputPoint,
+)
+from repro.metrics.sampler import SysstatSampler
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+from repro.topology.configs import Configuration
+from repro.topology.simulation import SimCosts, SimulatedSite
+from repro.workload.client import ClientPopulation, ThinkTimeSpec
+from repro.workload.markov import choose_interaction
+
+
+@dataclass
+class ExperimentSpec:
+    """Everything needed to run one (configuration, mix, clients) point."""
+
+    config: Configuration
+    profile: AppProfile
+    mix: Dict[str, float]
+    clients: int
+    ramp_up: float = 60.0
+    measure: float = 240.0
+    ramp_down: float = 10.0
+    think: ThinkTimeSpec = field(default_factory=ThinkTimeSpec)
+    seed: int = 42
+    ssl_interactions: frozenset = frozenset()
+    sim_costs: Optional[SimCosts] = None
+    sample_interval: float = 2.0
+    # When set (a dict interaction -> seconds), the returned point carries
+    # a WIRT compliance report over the measurement window.
+    wirt_limits: Optional[Dict[str, float]] = None
+
+    def scaled(self, factor: float) -> "ExperimentSpec":
+        """Shrink/grow phase durations (benches use factor < 1)."""
+        return replace(self, ramp_up=self.ramp_up * factor,
+                       measure=self.measure * factor,
+                       ramp_down=self.ramp_down * factor)
+
+
+def run_experiment(spec: ExperimentSpec) -> ThroughputPoint:
+    """Run one point and report its throughput + peak-window CPU."""
+    sim = Simulator()
+    site = SimulatedSite(sim, spec.config, spec.profile,
+                         ssl_interactions=spec.ssl_interactions,
+                         costs=spec.sim_costs or SimCosts())
+    rng = RngStreams(spec.seed)
+    population = ClientPopulation(
+        sim, spec.clients, spec.mix, site, rng, choose_interaction,
+        think=spec.think)
+    sampler = SysstatSampler(sim, site.machines,
+                             interval=spec.sample_interval)
+    population.start()
+    sampler.start()
+
+    sim.run(until=spec.ramp_up)
+    population.begin_measurement()
+    db_wait0 = site.db_lock_wait_time
+    sync_wait0 = site.sync_lock_wait_time
+    measure_start = sim.now
+    sim.run(until=spec.ramp_up + spec.measure)
+    stats = population.end_measurement()
+    measure_end = sim.now
+    sim.run(until=spec.ramp_up + spec.measure + spec.ramp_down)
+
+    minutes = (measure_end - measure_start) / 60.0
+    throughput = stats.interactions_completed / minutes if minutes else 0.0
+
+    roles = site.role_machines()
+    cpu = CpuUtilization(
+        web_server=sampler.mean_cpu(roles["web"].name, measure_start,
+                                    measure_end),
+        database=sampler.mean_cpu(roles["db"].name, measure_start,
+                                  measure_end),
+        servlet_container=sampler.mean_cpu(
+            roles["servlet"].name, measure_start, measure_end)
+        if "servlet" in roles else None,
+        ejb_server=sampler.mean_cpu(roles["ejb"].name, measure_start,
+                                    measure_end)
+        if "ejb" in roles else None)
+    completed = max(1, stats.interactions_completed)
+    point = ThroughputPoint(
+        clients=spec.clients, throughput_ipm=throughput, cpu=cpu,
+        mean_response_time=stats.mean_response_time(),
+        web_nic_tx_mbps=sampler.mean_nic_tx_mbps(
+            roles["web"].name, measure_start, measure_end),
+        db_lock_wait_per_interaction=(
+            (site.db_lock_wait_time - db_wait0) / completed),
+        sync_lock_wait_per_interaction=(
+            (site.sync_lock_wait_time - sync_wait0) / completed))
+    if spec.wirt_limits is not None:
+        from repro.metrics.wirt import evaluate_wirt
+        point.wirt = evaluate_wirt(stats, spec.wirt_limits)
+    return point
+
+
+def run_sweep(base: ExperimentSpec,
+              client_counts: Iterable[int]) -> ConfigurationSeries:
+    """One configuration across a grid of client counts."""
+    series = ConfigurationSeries(base.config.name)
+    for clients in client_counts:
+        point = run_experiment(replace(base, clients=clients))
+        series.add(point)
+    return series
+
+
+def run_figure(title: str, workload: str,
+               specs_by_config: Dict[str, ExperimentSpec],
+               client_counts_by_config: Dict[str, Iterable[int]]) \
+        -> ExperimentReport:
+    """Run every configuration's sweep and assemble a figure report."""
+    report = ExperimentReport(title=title, workload=workload)
+    for name, spec in specs_by_config.items():
+        series = run_sweep(spec, client_counts_by_config[name])
+        report.series[name] = series
+    return report

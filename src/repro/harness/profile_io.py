@@ -1,0 +1,125 @@
+"""Serialize interaction profiles to JSON and back.
+
+Profiling is the expensive part of an experiment (the bookstore EJB
+best-sellers walk alone issues tens of thousands of queries), so
+profiles can be captured once and reused across processes:
+
+    save_profile(profile, "bookstore_php.profile.json")
+    profile = load_profile("bookstore_php.profile.json")
+
+The format is versioned; loading a mismatched version fails loudly
+rather than replaying garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.harness.profiles import (
+    AppProfile,
+    InteractionProfile,
+    InteractionVariant,
+)
+
+FORMAT_VERSION = 2
+
+
+def _step_to_json(step: tuple) -> list:
+    kind = step[0]
+    if kind == "query":
+        __, cpu, req, reply, reads, writes, count = step
+        return ["query", cpu, req, reply, list(reads), list(writes), count]
+    if kind == "lock":
+        return ["lock", [list(pair) for pair in step[1]]]
+    if kind == "unlock":
+        return ["unlock"]
+    if kind == "sync_acquire":
+        return ["sync_acquire", [list(entry) for entry in step[1]]]
+    if kind == "sync_release":
+        return ["sync_release", list(step[1])]
+    if kind == "rmi":
+        return ["rmi", step[1], step[2]]
+    if kind == "ejb_work":
+        return ["ejb_work", step[1], step[2], step[3]]
+    raise ValueError(f"unknown step kind {kind!r}")
+
+
+def _step_from_json(raw: list) -> tuple:
+    kind = raw[0]
+    if kind == "query":
+        return ("query", raw[1], raw[2], raw[3], tuple(raw[4]),
+                tuple(raw[5]), raw[6])
+    if kind == "lock":
+        return ("lock", tuple(tuple(pair) for pair in raw[1]))
+    if kind == "unlock":
+        return ("unlock",)
+    if kind == "sync_acquire":
+        return ("sync_acquire", tuple(tuple(entry) for entry in raw[1]))
+    if kind == "sync_release":
+        return ("sync_release", tuple(raw[1]))
+    if kind == "rmi":
+        return ("rmi", raw[1], raw[2])
+    if kind == "ejb_work":
+        return ("ejb_work", raw[1], raw[2], raw[3])
+    raise ValueError(f"unknown step kind {kind!r}")
+
+
+def profile_to_dict(profile: AppProfile) -> dict:
+    """The JSON-ready representation of an AppProfile."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "app_name": profile.app_name,
+        "flavor": profile.flavor,
+        "key_spaces": dict(profile.key_spaces),
+        "interactions": {
+            name: {
+                "read_only": interaction.read_only,
+                "variants": [
+                    {
+                        "steps": [_step_to_json(s) for s in v.steps],
+                        "response_bytes": v.response_bytes,
+                        "image_count": v.image_count,
+                        "image_bytes": v.image_bytes,
+                        "query_count": v.query_count,
+                        "db_cpu_seconds": v.db_cpu_seconds,
+                        "ok": v.ok,
+                    } for v in interaction.variants],
+            } for name, interaction in profile.interactions.items()},
+    }
+
+
+def profile_from_dict(data: dict) -> AppProfile:
+    """Rebuild an AppProfile from its JSON representation."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"profile format version {version!r} does not match "
+            f"{FORMAT_VERSION} (re-capture the profile)")
+    profile = AppProfile(app_name=data["app_name"], flavor=data["flavor"],
+                         key_spaces=dict(data["key_spaces"]))
+    for name, raw in data["interactions"].items():
+        interaction = InteractionProfile(name=name,
+                                         read_only=raw["read_only"])
+        for variant in raw["variants"]:
+            interaction.variants.append(InteractionVariant(
+                steps=tuple(_step_from_json(s) for s in variant["steps"]),
+                response_bytes=variant["response_bytes"],
+                image_count=variant["image_count"],
+                image_bytes=variant["image_bytes"],
+                query_count=variant["query_count"],
+                db_cpu_seconds=variant["db_cpu_seconds"],
+                ok=variant["ok"]))
+        profile.interactions[name] = interaction
+    return profile
+
+
+def save_profile(profile: AppProfile, path: Union[str, Path]) -> None:
+    """Write a profile to a JSON file."""
+    Path(path).write_text(json.dumps(profile_to_dict(profile)))
+
+
+def load_profile(path: Union[str, Path]) -> AppProfile:
+    """Read a profile back from a JSON file."""
+    return profile_from_dict(json.loads(Path(path).read_text()))

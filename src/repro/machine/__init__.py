@@ -1,0 +1,13 @@
+"""Simulated hardware: machines with a CPU, a disk, memory and NICs.
+
+The paper's testbed is four identical commodity boxes (1.33 GHz Athlon,
+768 MB RAM, 5400 rpm disk) on switched 100 Mbps Ethernet; a
+:class:`MachineSpec` captures exactly those capacities and
+:func:`paper_machine_spec` returns them.
+"""
+
+from repro.machine.cpu import Cpu
+from repro.machine.disk import Disk
+from repro.machine.machine import Machine, MachineSpec, paper_machine_spec
+
+__all__ = ["Cpu", "Disk", "Machine", "MachineSpec", "paper_machine_spec"]

@@ -1,0 +1,7 @@
+"""Measurement: the sysstat-like sampler and experiment reports."""
+
+from repro.metrics.sampler import MachineSample, SysstatSampler
+from repro.metrics.report import CpuUtilization, ExperimentReport, ThroughputPoint
+
+__all__ = ["SysstatSampler", "MachineSample", "ExperimentReport",
+           "CpuUtilization", "ThroughputPoint"]

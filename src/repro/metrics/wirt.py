@@ -1,0 +1,94 @@
+"""TPC-W Web Interaction Response Time (WIRT) constraints.
+
+TPC-W clause 5.1 requires that 90% of each web interaction type complete
+within a per-type limit.  The paper implements "all the functionality
+specified in TPC-W that has an impact on performance"; WIRT compliance
+is how a run's operating point is judged valid.  This module evaluates
+the constraints against :class:`~repro.workload.client.ClientStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.workload.client import ClientStats
+
+# 90th-percentile limits (seconds) per TPC-W's Table 5.1, mapped to the
+# bookstore's interaction names.
+BOOKSTORE_WIRT_LIMITS: Dict[str, float] = {
+    "home": 3.0,
+    "new_products": 5.0,
+    "best_sellers": 5.0,
+    "product_detail": 3.0,
+    "search_request": 3.0,
+    "search_results": 10.0,
+    "shopping_cart": 3.0,
+    "customer_registration": 3.0,
+    "buy_request": 3.0,
+    "buy_confirm": 5.0,
+    "order_inquiry": 3.0,
+    "order_display": 5.0,
+    "admin_request": 3.0,
+    "admin_confirm": 20.0,
+}
+
+
+@dataclass(frozen=True)
+class WirtResult:
+    """One interaction type's constraint evaluation."""
+
+    interaction: str
+    limit: float
+    observed_p90: Optional[float]   # None when no samples in the window
+    samples: int
+
+    @property
+    def passed(self) -> bool:
+        if self.observed_p90 is None:
+            return True          # nothing observed, nothing violated
+        return self.observed_p90 <= self.limit
+
+
+@dataclass
+class WirtReport:
+    """Full WIRT evaluation of one measurement window."""
+
+    results: List[WirtResult]
+
+    @property
+    def compliant(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def violations(self) -> List[WirtResult]:
+        return [r for r in self.results if not r.passed]
+
+    def render(self) -> str:
+        lines = ["WIRT compliance (90th percentile response times)", ""]
+        lines.append(f"{'interaction':<24} {'limit':>8} {'p90':>10} "
+                     f"{'n':>7}  status")
+        for result in self.results:
+            observed = f"{result.observed_p90:.2f}s" \
+                if result.observed_p90 is not None else "-"
+            status = "ok" if result.passed else "VIOLATED"
+            lines.append(f"{result.interaction:<24} "
+                         f"{result.limit:>7.0f}s {observed:>10} "
+                         f"{result.samples:>7}  {status}")
+        lines.append("")
+        lines.append("run is " + ("WIRT-compliant" if self.compliant
+                                  else "NOT WIRT-compliant"))
+        return "\n".join(lines)
+
+
+def evaluate_wirt(stats: ClientStats,
+                  limits: Optional[Dict[str, float]] = None) -> WirtReport:
+    """Evaluate the 90th-percentile constraints over a stats window."""
+    limits = limits if limits is not None else BOOKSTORE_WIRT_LIMITS
+    results = []
+    for interaction, limit in limits.items():
+        samples = stats.response_times.get(interaction, ())
+        results.append(WirtResult(
+            interaction=interaction, limit=limit,
+            observed_p90=stats.percentile(interaction, 0.9),
+            samples=len(samples)))
+    return WirtReport(results=results)

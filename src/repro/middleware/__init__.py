@@ -1,0 +1,27 @@
+"""The three dynamic-content middleware architectures.
+
+* :mod:`repro.middleware.phpmod` -- the PHP analogue: scripts run inside
+  the web server process over a native driver, ad hoc SQL.
+* :mod:`repro.middleware.servlet` -- the servlet analogue: a container in
+  its own process (AJP connector to the web server), JDBC-like driver,
+  optional container-level sync locking replacing ``LOCK TABLES``.
+* :mod:`repro.middleware.ejb` -- the EJB analogue: stateless session
+  façade beans plus container-managed-persistence entity beans whose SQL
+  is generated automatically, reached from servlets over RMI stubs.
+"""
+
+from repro.middleware.context import AppContext, LockingPolicy
+from repro.middleware.trace import InteractionTrace, TraceStep
+from repro.middleware.phpmod import PhpModule
+from repro.middleware.servlet import ServletEngine
+from repro.middleware.ejb import EjbContainer
+
+__all__ = [
+    "AppContext",
+    "LockingPolicy",
+    "InteractionTrace",
+    "TraceStep",
+    "PhpModule",
+    "ServletEngine",
+    "EjbContainer",
+]

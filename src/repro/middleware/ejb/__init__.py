@@ -1,0 +1,8 @@
+"""EJB-analogue: session façades + container-managed-persistence entities."""
+
+from repro.middleware.ejb.container import EjbContainer, EjbCosts
+from repro.middleware.ejb.entity import EntityBean, EntityHome
+from repro.middleware.ejb.session import SessionBean, RmiStub, RmiCosts
+
+__all__ = ["EjbContainer", "EjbCosts", "EntityBean", "EntityHome",
+           "SessionBean", "RmiStub", "RmiCosts"]

@@ -1,0 +1,5 @@
+"""PHP-analogue: scripts executing inside the web server process."""
+
+from repro.middleware.phpmod.module import PhpModule, PhpScript
+
+__all__ = ["PhpModule", "PhpScript"]

@@ -1,0 +1,7 @@
+"""Servlet-analogue: a container in its own process, JDBC, sync locks."""
+
+from repro.middleware.servlet.engine import ServletEngine
+from repro.middleware.servlet.api import HttpServlet
+from repro.middleware.servlet.ajp import AjpConnector
+
+__all__ = ["ServletEngine", "HttpServlet", "AjpConnector"]

@@ -1,0 +1,96 @@
+"""The servlet container.
+
+Runs servlets over a JDBC-like driver with a connection pool.  With
+``sync_locking=True`` the container supplies a :class:`SyncLockRegistry`
+and interactions executed through it use container locks instead of
+``LOCK TABLES`` -- the paper's ``(sync)`` configurations.  Because the
+container is a separate process, it can be deployed on its own machine;
+the topology layer decides where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple, Union
+
+from repro.db.driver import ConnectionPool, JdbcLikeDriver
+from repro.db.engine import Database
+from repro.middleware.context import AppContext, LockingPolicy, SyncLockRegistry
+from repro.middleware.servlet.ajp import AjpConnector
+from repro.middleware.servlet.api import FunctionServlet, HttpServlet
+from repro.middleware.servlet.sessions import SessionManager
+from repro.middleware.trace import InteractionTrace
+from repro.web.http import HttpRequest, HttpResponse
+
+
+@dataclass(frozen=True)
+class ServletCosts:
+    """CPU prices of the JVM-hosted container (its own machine budget)."""
+
+    per_request: float = 2.2e-3       # dispatch, request/response objects
+    per_query_call: float = 0.70e-3   # interpreted JDBC statement handling
+    per_output_byte: float = 250.0e-9  # string building + encoding
+    # Container sync locking is cheap (in-process monitor):
+    per_sync_lock: float = 0.02e-3
+
+
+class ServletEngine:
+    """A Tomcat-like container bound to one database."""
+
+    name = "servlet"
+    requires_colocation = False
+    costs = ServletCosts()
+
+    def __init__(self, database: Database, sync_locking: bool = False,
+                 pool_size: int = 32,
+                 connector: AjpConnector | None = None):
+        self.database = database
+        self.driver = JdbcLikeDriver(database)
+        self.pool = ConnectionPool(self.driver, size=pool_size)
+        self.sync_locking = sync_locking
+        self.sync_registry = SyncLockRegistry() if sync_locking else None
+        self.connector = connector or AjpConnector()
+        self.servlets: Dict[str, HttpServlet] = {}
+        self.sessions = SessionManager()
+        self.requests_served = 0
+
+    @property
+    def policy(self) -> LockingPolicy:
+        return LockingPolicy.CONTAINER_SYNC if self.sync_locking \
+            else LockingPolicy.DB_LOCKS
+
+    def register(self, path: str,
+                 servlet: Union[HttpServlet, Callable]) -> None:
+        if path in self.servlets:
+            raise ValueError(f"servlet already registered at {path!r}")
+        if not isinstance(servlet, HttpServlet):
+            servlet = FunctionServlet(servlet)
+        servlet.init(self)
+        self.servlets[path] = servlet
+
+    def register_app(self, pages: Dict[str, Callable]) -> None:
+        for path, handler in pages.items():
+            self.register(path, handler)
+
+    def handle(self, request: HttpRequest) \
+            -> Tuple[HttpResponse, InteractionTrace]:
+        servlet = self.servlets.get(request.path)
+        trace = InteractionTrace(interaction=request.path)
+        if servlet is None:
+            response = HttpResponse(body="<html>404</html>", status=404)
+            trace.response = response
+            return response, trace
+        conn = self.pool.acquire()
+        session = self.sessions.get_session(request.session_id) \
+            if request.session_id else None
+        ctx = AppContext(request, conn, policy=self.policy,
+                         sync_registry=self.sync_registry, trace=trace,
+                         http_session=session)
+        try:
+            response = servlet.service(ctx)
+        finally:
+            self.pool.release(conn)
+        if trace.response is None:
+            trace.response = response
+        self.requests_served += 1
+        return response, trace

@@ -1,0 +1,80 @@
+"""Interaction traces: the ordered record of everything one dynamic
+request did -- queries, lock spans, RMI calls -- plus the response.
+
+Traces serve two purposes: tests assert on them (e.g. "the sync variant
+issues no LOCK TABLES"), and the profiling pass compiles them into the
+simulator's interaction profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.db.driver import QueryRecord
+from repro.web.http import HttpResponse
+
+
+@dataclass
+class TraceStep:
+    """One event inside an interaction.
+
+    kind is one of:
+      "query"        -- payload is a QueryRecord
+      "sync_acquire" -- payload is ((name, mode), ...) container locks
+      "sync_release" -- payload is (name, ...)
+      "rmi_call"     -- payload is (method_name, request_bytes, reply_bytes)
+    """
+
+    kind: str
+    payload: object
+
+
+@dataclass
+class InteractionTrace:
+    steps: List[TraceStep] = field(default_factory=list)
+    response: Optional[HttpResponse] = None
+    interaction: str = ""
+
+    def add_query(self, record: QueryRecord) -> None:
+        self.steps.append(TraceStep("query", record))
+
+    def add_sync_acquire(self, locks: Tuple[Tuple[str, str], ...]) -> None:
+        self.steps.append(TraceStep("sync_acquire", locks))
+
+    def add_sync_release(self, names: Tuple[str, ...]) -> None:
+        self.steps.append(TraceStep("sync_release", names))
+
+    def add_rmi_call(self, method: str, request_bytes: int,
+                     reply_bytes: int) -> None:
+        self.steps.append(TraceStep("rmi_call",
+                                    (method, request_bytes, reply_bytes)))
+
+    # -- inspection helpers (used heavily by tests) ------------------------------
+
+    def queries(self) -> List[QueryRecord]:
+        return [s.payload for s in self.steps if s.kind == "query"]
+
+    def query_count(self, kind: Optional[str] = None) -> int:
+        records = self.queries()
+        if kind is None:
+            return len(records)
+        return sum(1 for r in records if r.kind == kind)
+
+    def lock_statement_count(self) -> int:
+        return sum(1 for r in self.queries() if r.kind in ("lock", "unlock"))
+
+    def sync_spans(self) -> int:
+        return sum(1 for s in self.steps if s.kind == "sync_acquire")
+
+    def rmi_calls(self) -> List[tuple]:
+        return [s.payload for s in self.steps if s.kind == "rmi_call"]
+
+    def db_cpu_seconds(self) -> float:
+        return sum(r.cpu_seconds for r in self.queries())
+
+    def tables_written(self) -> set:
+        out: set = set()
+        for record in self.queries():
+            out.update(record.tables_written)
+        return out

@@ -1,0 +1,5 @@
+"""Switched-Ethernet network model: full-duplex NICs on a LAN."""
+
+from repro.net.lan import Lan, Nic
+
+__all__ = ["Lan", "Nic"]

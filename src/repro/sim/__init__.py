@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel.
+
+A minimal, fast virtual-time kernel in the style of SimPy: processes are
+Python generators that yield *waitables* (delays, events, resource
+requests).  The kernel is deliberately small -- the performance layer of
+the reproduction schedules hundreds of thousands of events per experiment,
+so every hot path here avoids allocation and indirection where possible.
+"""
+
+from repro.sim.kernel import Simulator, Process, Delay, Event, Interrupt
+from repro.sim.resources import Resource, Store, RWLock
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Delay",
+    "Event",
+    "Interrupt",
+    "Resource",
+    "Store",
+    "RWLock",
+    "RngStreams",
+]

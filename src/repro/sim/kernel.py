@@ -1,0 +1,291 @@
+"""Virtual-time event kernel.
+
+The kernel owns a binary heap of timed callbacks and a FIFO ready-queue of
+processes waiting to be resumed "now".  Processes are plain generators:
+
+* ``yield seconds`` (an ``int`` or ``float``) suspends the process for that
+  much virtual time,
+* ``yield event`` suspends until the :class:`Event` is triggered,
+* ``yield process`` suspends until the spawned :class:`Process` finishes,
+
+The ready-queue (rather than recursive resumption) keeps the Python call
+stack flat even when one event release cascades through thousands of
+waiting processes, which happens routinely under database lock contention.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (bad yields, double triggers, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The ``cause`` attribute carries whatever the interrupter supplied.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot condition that processes can wait on.
+
+    Events are the kernel's only synchronization primitive; resources,
+    locks and message stores are all built from them.
+    """
+
+    __slots__ = ("sim", "_waiters", "triggered", "value", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._waiters: list[Process] = []
+        self._callbacks: list[Callable[[Any], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, resuming every waiter at the current time."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        ready = self.sim._ready
+        for proc in self._waiters:
+            if proc._waiting_on is self:
+                proc._waiting_on = None
+                ready.append((proc, value, None))
+        self._waiters.clear()
+        for cb in self._callbacks:
+            cb(value)
+        self._callbacks.clear()
+
+    def add_callback(self, fn: Callable[[Any], None]) -> None:
+        """Run ``fn(value)`` when the event fires (immediately if fired)."""
+        if self.triggered:
+            fn(self.value)
+        else:
+            self._callbacks.append(fn)
+
+    def _subscribe(self, proc: "Process") -> bool:
+        """Register ``proc`` as a waiter.  Returns False if already fired."""
+        if self.triggered:
+            return False
+        self._waiters.append(proc)
+        proc._waiting_on = self
+        return True
+
+
+class Process:
+    """A running generator inside the simulation."""
+
+    __slots__ = ("sim", "_gen", "finished", "result", "_done_event",
+                 "_waiting_on", "name", "_timeout_key")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self._gen = gen
+        self.finished = False
+        self.result: Any = None
+        self._done_event: Optional[Event] = None
+        # What the process currently waits on: an Event, the string
+        # "timeout", or None while on the ready queue / running.
+        self._waiting_on: Any = None
+        self._timeout_key: Optional[int] = None
+        self.name = name or getattr(gen, "__name__", "process")
+
+    @property
+    def done_event(self) -> Event:
+        """Event fired (with the return value) when the process finishes."""
+        if self._done_event is None:
+            self._done_event = Event(self.sim)
+            if self.finished:
+                self._done_event.trigger(self.result)
+        return self._done_event
+
+    def interrupt(self, cause: Any = None) -> bool:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Returns False (and does nothing) if the process cannot be
+        interrupted right now: it already finished, or it sits on the
+        ready queue about to run.
+        """
+        if self.finished:
+            return False
+        waiting = self._waiting_on
+        if waiting is None:
+            return False
+        if isinstance(waiting, Event):
+            try:
+                waiting._waiters.remove(self)
+            except ValueError:
+                pass
+        elif waiting == "timeout":
+            self.sim._cancel_timeout(self)
+        self._waiting_on = None
+        self.sim._ready.append((self, None, Interrupt(cause)))
+        return True
+
+    def _finish(self, value: Any) -> None:
+        self.finished = True
+        self.result = value
+        if self._done_event is not None and not self._done_event.triggered:
+            self._done_event.trigger(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class Delay:
+    """Explicit delay waitable; ``yield Delay(t)`` equals ``yield t``."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float):
+        self.seconds = seconds
+
+
+class Simulator:
+    """The event loop: owns virtual time, the heap, and the ready queue."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._ready: deque = deque()
+        self._cancelled: set[int] = set()
+        self._nproc = 0
+
+    # -- low level scheduling ------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, None, None))
+
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout_event(self, delay: float) -> Event:
+        """An event that fires automatically after ``delay`` seconds."""
+        ev = Event(self)
+        self.schedule(delay, lambda: None if ev.triggered else ev.trigger(None))
+        return ev
+
+    # -- processes -----------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a process at the current time."""
+        if not isinstance(gen, Generator):
+            raise SimulationError(f"spawn() needs a generator, got {type(gen)!r}")
+        proc = Process(self, gen, name)
+        self._nproc += 1
+        self._ready.append((proc, None, None))
+        return proc
+
+    def _schedule_timeout(self, delay: float, proc: Process) -> None:
+        self._seq += 1
+        key = self._seq
+        proc._waiting_on = "timeout"
+        proc._timeout_key = key
+        heapq.heappush(self._heap, (self.now + delay, key, None, proc, None))
+
+    def _cancel_timeout(self, proc: Process) -> None:
+        if proc._timeout_key is not None:
+            self._cancelled.add(proc._timeout_key)
+            proc._timeout_key = None
+
+    def _resume(self, proc: Process, value: Any, exc: Optional[BaseException]) -> None:
+        gen = proc._gen
+        try:
+            if exc is not None:
+                target = gen.throw(exc)
+            else:
+                target = gen.send(value)
+        except StopIteration as stop:
+            proc._finish(stop.value)
+            return
+        self._wait_on(proc, target)
+
+    def _wait_on(self, proc: Process, target: Any) -> None:
+        if isinstance(target, (int, float)):
+            self._schedule_timeout(target, proc)
+        elif isinstance(target, Delay):
+            self._schedule_timeout(target.seconds, proc)
+        elif isinstance(target, Event):
+            if not target._subscribe(proc):
+                # Already triggered: resume with its value immediately.
+                self._ready.append((proc, target.value, None))
+        elif isinstance(target, Process):
+            ev = target.done_event
+            if not ev._subscribe(proc):
+                self._ready.append((proc, ev.value, None))
+        else:
+            raise SimulationError(f"process yielded unsupported value {target!r}")
+
+    # -- main loop -----------------------------------------------------------
+
+    def _drain_ready(self) -> None:
+        ready = self._ready
+        while ready:
+            proc, value, exc = ready.popleft()
+            if not proc.finished:
+                self._resume(proc, value, exc)
+
+    def step(self) -> bool:
+        """Advance past the next timed entry.  Returns False when idle."""
+        self._drain_ready()
+        heap = self._heap
+        while heap:
+            time, key, fn, proc, _ = heapq.heappop(heap)
+            if key in self._cancelled:
+                self._cancelled.discard(key)
+                continue
+            self.now = time
+            if fn is not None:
+                fn()
+            elif proc is not None and not proc.finished:
+                proc._waiting_on = None
+                proc._timeout_key = None
+                self._resume(proc, None, None)
+            self._drain_ready()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap empties or virtual time reaches ``until``."""
+        self._drain_ready()
+        heap = self._heap
+        while heap:
+            if until is not None and heap[0][0] > until:
+                self.now = until
+                return self.now
+            if not self.step():
+                break
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def run_all(self, procs: Iterable[Process], until: Optional[float] = None) -> float:
+        """Run until every process in ``procs`` has finished."""
+        pending = [p for p in procs if not p.finished]
+        while pending:
+            if not self.step():
+                unfinished = [p.name for p in pending if not p.finished]
+                if unfinished:
+                    raise SimulationError(f"deadlock: {unfinished[:5]} never finished")
+            if until is not None and self.now > until:
+                raise SimulationError("run_all exceeded time bound")
+            pending = [p for p in pending if not p.finished]
+        return self.now

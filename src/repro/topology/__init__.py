@@ -1,0 +1,28 @@
+"""Deployment topologies: the paper's six configurations."""
+
+from repro.topology.configs import (
+    ALL_CONFIGURATIONS,
+    Configuration,
+    WS_PHP_DB,
+    WS_SERVLET_DB,
+    WS_SERVLET_DB_SYNC,
+    WS_SEP_SERVLET_DB,
+    WS_SEP_SERVLET_DB_SYNC,
+    WS_SERVLET_EJB_DB,
+    configuration_by_name,
+)
+from repro.topology.simulation import SimCosts, SimulatedSite
+
+__all__ = [
+    "Configuration",
+    "ALL_CONFIGURATIONS",
+    "WS_PHP_DB",
+    "WS_SERVLET_DB",
+    "WS_SERVLET_DB_SYNC",
+    "WS_SEP_SERVLET_DB",
+    "WS_SEP_SERVLET_DB_SYNC",
+    "WS_SERVLET_EJB_DB",
+    "configuration_by_name",
+    "SimulatedSite",
+    "SimCosts",
+]

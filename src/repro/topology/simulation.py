@@ -1,0 +1,420 @@
+"""The simulated site: replays interaction profiles over machines.
+
+One :class:`SimulatedSite` is a full deployment of one configuration:
+machines on a switched LAN, the database's table-lock manager, the
+container's sync-lock registry, and the per-component CPU cost tables.
+The client population calls :meth:`perform` for each interaction; the
+method is a simulator process that walks the profile's steps charging
+CPU, wire time, and lock waits in virtual time.
+
+The contention mechanics are real, not modeled:
+
+* every statement takes MyISAM-style per-table locks (write-priority
+  RW locks) for its execution time;
+* an explicit ``LOCK TABLES`` span holds its locks across all the
+  round trips inside the span -- this is what caps the non-sync
+  bookstore configurations;
+* sync spans hold named locks in the *container* instead, so database
+  readers keep flowing -- the (sync) configurations' advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.harness.profiles import AppProfile, InteractionVariant
+from repro.machine.machine import Machine, MachineSpec
+from repro.middleware.ejb.container import EjbCosts
+from repro.middleware.ejb.session import RmiCosts
+from repro.middleware.phpmod.module import PhpCosts
+from repro.middleware.servlet.ajp import AjpCosts
+from repro.middleware.servlet.engine import ServletCosts
+from repro.db.driver import (
+    EJB_JDBC_OVERHEADS,
+    JDBC_OVERHEADS,
+    NATIVE_OVERHEADS,
+)
+from repro.net.lan import Lan
+from repro.sim.kernel import Simulator
+from repro.sim.resources import (
+    Resource,
+    RWLock,
+    safe_acquire,
+    safe_acquire_read,
+    safe_acquire_write,
+)
+from repro.topology.configs import Configuration
+from repro.web.server import WebServerConfig
+
+
+@dataclass(frozen=True)
+class SimCosts:
+    """Replay-level constants and ablation switches."""
+
+    request_bytes: int = 420          # client HTTP request incl. headers
+    image_request_bytes: int = 240    # per embedded-image GET
+    db_lock_statement_cpu: float = 0.18e-3
+    client_nic_bandwidth: float = 10e9   # aggregate of many client boxes
+    # Ablations (DESIGN.md section 5):
+    # MyISAM gives waiting writers priority over new readers; set False
+    # to evaluate FIFO/reader-friendly table locks.
+    db_write_priority: bool = True
+    # Container sync-lock granularity: "entity" (Java-style per-object)
+    # or "table" (as coarse as the database's own locks).
+    sync_lock_granularity: str = "entity"
+
+
+class SimulatedSite:
+    """A deployed configuration under simulation."""
+
+    def __init__(self, sim: Simulator, config: Configuration,
+                 profile: AppProfile,
+                 ssl_interactions: frozenset = frozenset(),
+                 costs: Optional[SimCosts] = None,
+                 web_config: Optional[WebServerConfig] = None,
+                 php_costs: Optional[PhpCosts] = None,
+                 servlet_costs: Optional[ServletCosts] = None,
+                 ejb_costs: Optional[EjbCosts] = None,
+                 ajp_costs: Optional[AjpCosts] = None,
+                 rmi_costs: Optional[RmiCosts] = None):
+        if config.flavor != profile.flavor:
+            raise ValueError(
+                f"configuration {config.name} needs a {config.flavor!r} "
+                f"profile, got {profile.flavor!r}")
+        self.sim = sim
+        self.config = config
+        self.profile = profile
+        self.costs = costs or SimCosts()
+        self.web_config = web_config or WebServerConfig()
+        self.php_costs = php_costs or PhpCosts()
+        self.servlet_costs = servlet_costs or ServletCosts()
+        self.ejb_costs = ejb_costs or EjbCosts()
+        self.ajp_costs = ajp_costs or AjpCosts()
+        self.rmi_costs = rmi_costs or RmiCosts()
+        self.ssl_interactions = ssl_interactions
+
+        self.lan = Lan(sim)
+        self.machines: Dict[str, Machine] = {}
+        for name in config.machine_names():
+            machine = Machine(sim, name)
+            self.machines[name] = machine
+            self.lan.attach(machine)
+        # The client side is an aggregate pseudo-machine with a fat NIC
+        # (the paper uses "enough client machines" that clients are never
+        # the bottleneck).
+        self.client_machine = Machine(
+            sim, "clients",
+            MachineSpec(nic_bandwidth_bps=self.costs.client_nic_bandwidth))
+        self.lan.attach(self.client_machine)
+
+        self.web = self.machines[config.machine_of("web")]
+        self.gen = self.machines[config.machine_of("gen")]
+        self.db = self.machines[config.machine_of("db")]
+        self.ejb = self.machines[config.machine_of("ejb")] \
+            if "ejb" in config.placement else None
+
+        # Apache's process pool (512 in the paper's configuration).
+        self.web_processes = Resource(
+            sim, capacity=self.web_config.max_processes, name="httpd")
+        # MyISAM table locks, created on demand.
+        self._table_locks: Dict[str, RWLock] = {}
+        # Container sync locks (servlet_sync flavor), created on demand.
+        self._sync_locks: Dict[str, RWLock] = {}
+        # Interactions completed (all phases; the population windows it).
+        self.interactions_done = 0
+        # Accumulated virtual time spent *waiting* for locks (not
+        # holding them): the direct measure of the contention the paper
+        # attributes the bookstore results to.
+        self.db_lock_wait_time = 0.0
+        self.sync_lock_wait_time = 0.0
+
+        if config.flavor == "php":
+            self._driver = NATIVE_OVERHEADS
+        elif config.flavor == "ejb":
+            self._driver = EJB_JDBC_OVERHEADS
+        else:
+            self._driver = JDBC_OVERHEADS
+        # The machine that issues database queries.
+        self.db_client = self.ejb if config.flavor == "ejb" else self.gen
+
+    # -- lock tables ---------------------------------------------------------------
+
+    def table_lock(self, table: str) -> RWLock:
+        lock = self._table_locks.get(table)
+        if lock is None:
+            lock = RWLock(self.sim,
+                          write_priority=self.costs.db_write_priority,
+                          name=f"db.{table}")
+            self._table_locks[table] = lock
+        return lock
+
+    def sync_lock(self, name: str) -> RWLock:
+        lock = self._sync_locks.get(name)
+        if lock is None:
+            lock = RWLock(self.sim, write_priority=True, name=f"sync.{name}")
+            self._sync_locks[name] = lock
+        return lock
+
+    # -- client API ------------------------------------------------------------------
+
+    def new_session(self, client_id: int, rng) -> None:
+        """Session start: nothing to do (connections are pooled)."""
+
+    def perform(self, client_id: int, name: str, rng):
+        """Simulator process: execute one interaction end to end."""
+        variant = self.profile.profile(name).pick(rng)
+        costs = self.costs
+        web_cfg = self.web_config
+        lan = self.lan
+        web = self.web
+        gen = self.gen
+
+        # Client request reaches the web server; an Apache process is
+        # held for the duration of the dynamic request.
+        yield from lan.transfer(self.client_machine, web, costs.request_bytes)
+        yield from safe_acquire(self.web_processes)
+        try:
+            web_cpu = (web_cfg.per_request_cpu +
+                       costs.request_bytes * web_cfg.per_net_byte_cpu)
+            if name in self.ssl_interactions:
+                web_cpu += web_cfg.per_ssl_request_cpu
+            yield from web.cpu.execute(web_cpu)
+
+            if self.config.flavor == "php":
+                yield from self._run_php(variant, rng)
+            else:
+                yield from self._run_container(variant, rng)
+
+            # Reply to the client plus the embedded images it fetches.
+            reply_cpu = (variant.response_bytes + variant.image_bytes) * \
+                web_cfg.per_net_byte_cpu + \
+                variant.image_count * web_cfg.per_static_hit_cpu
+            yield from web.cpu.execute(reply_cpu)
+            yield from lan.transfer(web, self.client_machine,
+                                    variant.response_bytes)
+            if variant.image_count:
+                yield from lan.transfer(
+                    self.client_machine, web,
+                    variant.image_count * costs.image_request_bytes)
+                yield from lan.transfer(web, self.client_machine,
+                                        variant.image_bytes)
+        finally:
+            self.web_processes.release()
+        self.interactions_done += 1
+
+    # -- generator execution ------------------------------------------------------------
+
+    def _run_php(self, variant: InteractionVariant, rng):
+        """PHP module: everything happens in the web server process."""
+        php = self.php_costs
+        yield from self.web.cpu.execute(
+            php.per_request +
+            variant.response_bytes * php.per_output_byte +
+            variant.query_count * php.per_query_call)
+        yield from self._replay_steps(variant, rng)
+
+    def _run_container(self, variant: InteractionVariant, rng):
+        """Servlet (and EJB) flavors: AJP crossing, container work."""
+        ajp = self.ajp_costs
+        gen = self.gen
+        request_ipc = ajp.request_overhead_bytes + 80
+        reply_ipc = ajp.reply_overhead_bytes + variant.response_bytes
+        # Request crossing: web -> container.
+        yield from self.web.cpu.execute(
+            ajp.per_message + request_ipc * ajp.per_byte)
+        yield from self.lan.transfer(self.web, gen, request_ipc)
+        yield from gen.cpu.execute(
+            ajp.per_message + request_ipc * ajp.per_byte)
+
+        servlet = self.servlet_costs
+        yield from gen.cpu.execute(
+            servlet.per_request +
+            variant.response_bytes * servlet.per_output_byte)
+        if self.config.flavor != "ejb":
+            yield from gen.cpu.execute(
+                variant.query_count * servlet.per_query_call)
+        yield from self._replay_steps(variant, rng)
+
+        # Reply crossing: container -> web.
+        yield from gen.cpu.execute(
+            ajp.per_message + reply_ipc * ajp.per_byte)
+        yield from self.lan.transfer(gen, self.web, reply_ipc)
+        yield from self.web.cpu.execute(
+            ajp.per_message + reply_ipc * ajp.per_byte)
+
+    # -- step replay ---------------------------------------------------------------------
+
+    def _replay_steps(self, variant: InteractionVariant, rng):
+        held_explicit: Dict[str, str] = {}
+        held_sync: list = []
+        key_draws: Dict[int, int] = {}
+        try:
+            for step in variant.steps:
+                kind = step[0]
+                if kind == "query":
+                    yield from self._db_query(step, held_explicit)
+                elif kind == "lock":
+                    yield from self._db_explicit_lock(step[1], held_explicit)
+                elif kind == "unlock":
+                    self._db_explicit_unlock(held_explicit)
+                    yield from self.db.cpu.execute(
+                        self.costs.db_lock_statement_cpu)
+                elif kind == "sync_acquire":
+                    yield from self._sync_acquire(step[1], held_sync, rng,
+                                                  key_draws)
+                elif kind == "sync_release":
+                    self._sync_release(step[1], held_sync)
+                elif kind == "rmi":
+                    yield from self._rmi_crossing(step[1], step[2])
+                elif kind == "ejb_work":
+                    yield from self._ejb_work(step[1], step[2], step[3])
+        finally:
+            # Defensive cleanup: a variant always closes its spans, but
+            # never leave locks dangling if one did not.
+            if held_explicit:
+                self._db_explicit_unlock(held_explicit)
+            if held_sync:
+                self._sync_release([name for name, __ in held_sync],
+                                   held_sync)
+
+    def _db_query(self, step, held_explicit):
+        __, db_cpu, request_bytes, reply_bytes, reads, writes, count = step
+        issuer = self.db_client
+        driver = self._driver
+        # Client-side driver work (count > 1 for coalesced read batches).
+        yield from issuer.cpu.execute(
+            count * driver.per_call + reply_bytes * driver.per_result_byte)
+        yield from self.lan.transfer(issuer, self.db, request_bytes)
+        # Per-statement MyISAM locks (skipped inside LOCK TABLES spans).
+        taken = []
+        try:
+            if not held_explicit:
+                write_set = sorted(set(writes))
+                read_set = sorted(set(reads) - set(writes))
+                for table in sorted(set(write_set) | set(read_set)):
+                    lock = self.table_lock(table)
+                    waited_from = self.sim.now
+                    if table in write_set:
+                        yield from safe_acquire_write(lock)
+                        taken.append((lock, "WRITE"))
+                    else:
+                        yield from safe_acquire_read(lock)
+                        taken.append((lock, "READ"))
+                    self.db_lock_wait_time += self.sim.now - waited_from
+            yield from self.db.cpu.execute(db_cpu)
+        finally:
+            for lock, mode in taken:
+                if mode == "WRITE":
+                    lock.release_write()
+                else:
+                    lock.release_read()
+        yield from self.lan.transfer(self.db, issuer, reply_bytes)
+
+    def _db_explicit_lock(self, lock_set, held_explicit):
+        """LOCK TABLES: take every lock (sorted order prevents deadlock),
+        hold until UNLOCK TABLES."""
+        if held_explicit:           # MySQL implicitly releases first
+            self._db_explicit_unlock(held_explicit)
+        for table, mode in sorted(lock_set):
+            lock = self.table_lock(table)
+            waited_from = self.sim.now
+            if mode == "WRITE":
+                yield from safe_acquire_write(lock)
+            else:
+                yield from safe_acquire_read(lock)
+            self.db_lock_wait_time += self.sim.now - waited_from
+            held_explicit[table] = mode
+        yield from self.db.cpu.execute(self.costs.db_lock_statement_cpu)
+
+    def _db_explicit_unlock(self, held_explicit):
+        for table, mode in list(held_explicit.items()):
+            lock = self.table_lock(table)
+            if mode == "WRITE":
+                lock.release_write()
+            else:
+                lock.release_read()
+        held_explicit.clear()
+
+    def _sync_acquire(self, lock_set, held_sync, rng, key_draws):
+        """Take container locks; placeholder slots get fresh entity keys
+        drawn from the table's key space (consistent within one
+        interaction, independent across interactions)."""
+        gen = self.gen
+        resolved = []
+        table_granularity = self.costs.sync_lock_granularity == "table"
+        for table, slot, mode in lock_set:
+            if slot is None or table_granularity:
+                resolved.append((table, mode))
+            else:
+                draw = key_draws.get(slot)
+                if draw is None:
+                    space = self.profile.key_spaces.get(table, 1_000_000)
+                    draw = rng.randrange(max(1, space))
+                    key_draws[slot] = draw
+                resolved.append((f"{table}#{draw}", mode))
+        # Coarsening can map two entries onto one name; keep WRITE.
+        merged: Dict[str, str] = {}
+        for name, mode in resolved:
+            if merged.get(name) != "WRITE":
+                merged[name] = mode
+        resolved = list(merged.items())
+        for name, mode in sorted(resolved):
+            yield from gen.cpu.execute(self.servlet_costs.per_sync_lock)
+            lock = self.sync_lock(name)
+            waited_from = self.sim.now
+            if mode == "WRITE":
+                yield from safe_acquire_write(lock)
+            else:
+                yield from safe_acquire_read(lock)
+            self.sync_lock_wait_time += self.sim.now - waited_from
+            held_sync.append((name, mode))
+
+    def _sync_release(self, names, held_sync):
+        for name, mode in list(held_sync):
+            lock = self.sync_lock(name)
+            if mode == "WRITE":
+                lock.release_write()
+            else:
+                lock.release_read()
+            # Keyed entity locks are transient: drop idle ones so the
+            # registry does not accumulate one lock per random key.
+            if "#" in name and not lock.writer and not lock.readers \
+                    and not lock.waiting_writers and not lock.waiting_readers:
+                self._sync_locks.pop(name, None)
+        held_sync.clear()
+
+    def _rmi_crossing(self, request_bytes, reply_bytes):
+        """Servlet <-> EJB server round trip for one façade call."""
+        rmi = self.rmi_costs
+        servlet = self.gen
+        ejb = self.ejb
+        yield from servlet.cpu.execute(
+            rmi.per_call + request_bytes * rmi.per_byte)
+        yield from self.lan.transfer(servlet, ejb, request_bytes)
+        yield from ejb.cpu.execute(
+            rmi.per_call + request_bytes * rmi.per_byte)
+        # (the queries of the call replay as their own steps)
+        yield from ejb.cpu.execute(
+            rmi.per_call + reply_bytes * rmi.per_byte)
+        yield from self.lan.transfer(ejb, servlet, reply_bytes)
+        yield from servlet.cpu.execute(
+            rmi.per_call + reply_bytes * rmi.per_byte)
+
+    def _ejb_work(self, loads, stores, fields):
+        k = self.ejb_costs
+        queries = 0  # driver costs are charged per query step
+        cpu = (k.per_method + loads * k.per_entity_load +
+               stores * k.per_entity_store + fields * k.per_field_access)
+        yield from self.ejb.cpu.execute(cpu)
+
+    # -- reporting helpers ------------------------------------------------------------------
+
+    def role_machines(self) -> Dict[str, Machine]:
+        """Distinct machines keyed by their primary role name."""
+        out: Dict[str, Machine] = {"web": self.web, "db": self.db}
+        if self.gen is not self.web:
+            out["servlet"] = self.gen
+        if self.ejb is not None:
+            out["ejb"] = self.ejb
+        return out

@@ -1,0 +1,7 @@
+"""Web-server layer: HTTP plumbing, HTML rendering, static content."""
+
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.static import StaticContentStore
+from repro.web.server import WebServerConfig
+
+__all__ = ["HttpRequest", "HttpResponse", "StaticContentStore", "WebServerConfig"]

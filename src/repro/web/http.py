@@ -1,0 +1,48 @@
+"""Minimal HTTP request/response objects for the functional layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class HttpRequest:
+    """A dynamic-content request as the web server hands it onward."""
+
+    path: str
+    params: Dict[str, object] = field(default_factory=dict)
+    method: str = "GET"
+    session_id: Optional[str] = None
+
+    def param(self, name: str, default=None):
+        return self.params.get(name, default)
+
+    def int_param(self, name: str, default: Optional[int] = None) -> Optional[int]:
+        value = self.params.get(name)
+        if value is None:
+            return default
+        return int(value)
+
+    def str_param(self, name: str, default: str = "") -> str:
+        value = self.params.get(name)
+        return default if value is None else str(value)
+
+
+@dataclass
+class HttpResponse:
+    """The generated reply plus the static objects it embeds."""
+
+    body: str = ""
+    status: int = 200
+    content_type: str = "text/html"
+    # Paths of embedded images the client will fetch next (served by the
+    # web server from its file system, as in the paper).
+    embedded_images: List[str] = field(default_factory=list)
+
+    @property
+    def body_bytes(self) -> int:
+        return len(self.body.encode("utf-8", errors="replace"))
+
+    def ok(self) -> bool:
+        return 200 <= self.status < 300

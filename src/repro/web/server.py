@@ -1,0 +1,28 @@
+"""The web server's functional configuration and cost constants.
+
+Apache-like behaviour that matters to the study: a bounded process pool
+(512 processes, never the limit in the paper -- we keep the knob and the
+assertion), per-request HTTP handling CPU, per-byte network-processing
+CPU (interrupts + TCP), and dispatch either to an in-process module
+(PHP) or over a connector (AJP) to an external container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WebServerConfig:
+    """CPU prices for the front-end, calibrated in harness/calibrate.py."""
+
+    max_processes: int = 512
+    # Per dynamic request: accept, parse headers, route. (seconds)
+    per_request_cpu: float = 0.45e-3
+    # Per static hit: stat + sendfile-ish path.
+    per_static_hit_cpu: float = 0.10e-3
+    # Network processing (TCP/interrupt) per byte moved to/from clients.
+    per_net_byte_cpu: float = 46.0e-9
+    # SSL is enabled in the paper's Apache build; purchases interactions
+    # use it. Extra per-secure-request cost:
+    per_ssl_request_cpu: float = 1.2e-3

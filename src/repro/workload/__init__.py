@@ -1,0 +1,5 @@
+"""Closed-loop client emulation in virtual time."""
+
+from repro.workload.client import ClientPopulation, ClientStats, ThinkTimeSpec
+
+__all__ = ["ClientPopulation", "ClientStats", "ThinkTimeSpec"]

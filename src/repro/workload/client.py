@@ -1,0 +1,130 @@
+"""The client-browser emulator.
+
+Per the paper (and TPC-W clauses 5.3.1.1 / 6.2.1.2):
+
+* a fixed number of emulated clients run concurrent sessions;
+* think time between interactions is negative-exponential, mean 7 s;
+* session duration is negative-exponential, mean 15 min -- when a
+  session ends a new one begins immediately (the client count is the
+  controlled variable);
+* the next interaction is drawn from the workload mix's transition
+  probabilities.
+
+Each client is one simulator process; the site under test is any object
+with a ``perform(client_id, interaction_name, sim_process_context)``
+generator method (the topology layer provides it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class ThinkTimeSpec:
+    """Think/session time parameters (seconds)."""
+
+    think_mean: float = 7.0
+    session_mean: float = 900.0
+
+
+@dataclass
+class ClientStats:
+    """Counts gathered by the population; windowed by the experiment."""
+
+    interactions_completed: int = 0
+    interactions_started: int = 0
+    sessions_started: int = 0
+    per_interaction: Dict[str, int] = field(default_factory=dict)
+    response_time_sum: float = 0.0
+    # Per-interaction response-time samples, for WIRT-style percentile
+    # constraints (TPC-W clause 5.1).
+    response_times: Dict[str, list] = field(default_factory=dict)
+
+    def completed_in_window(self) -> int:
+        return self.interactions_completed
+
+    def record(self, name: str, response_time: float) -> None:
+        self.interactions_completed += 1
+        self.response_time_sum += response_time
+        self.per_interaction[name] = self.per_interaction.get(name, 0) + 1
+        self.response_times.setdefault(name, []).append(response_time)
+
+    def mean_response_time(self) -> float:
+        if not self.interactions_completed:
+            return 0.0
+        return self.response_time_sum / self.interactions_completed
+
+    def percentile(self, name: str, fraction: float = 0.9) -> Optional[float]:
+        """The ``fraction`` response-time percentile of one interaction
+        (None if it never completed in the window)."""
+        samples = self.response_times.get(name)
+        if not samples:
+            return None
+        ordered = sorted(samples)
+        index = min(len(ordered) - 1,
+                    max(0, int(fraction * len(ordered)) - 1))
+        return ordered[index]
+
+
+class ClientPopulation:
+    """Spawns and drives ``n_clients`` closed-loop clients."""
+
+    def __init__(self, sim: Simulator, n_clients: int,
+                 mix: Dict[str, float],
+                 site,                      # object with .perform(...)
+                 rng: RngStreams,
+                 choose: Callable,          # choose(mix, rng) -> name
+                 think: Optional[ThinkTimeSpec] = None):
+        if n_clients < 1:
+            raise ValueError("need at least one client")
+        self.sim = sim
+        self.n_clients = n_clients
+        self.mix = mix
+        self.site = site
+        self.rng = rng
+        self.choose = choose
+        self.think = think or ThinkTimeSpec()
+        self.stats = ClientStats()
+        self.recording = False
+        self._procs = []
+
+    def start(self) -> None:
+        for client_id in range(self.n_clients):
+            proc = self.sim.spawn(self._client(client_id),
+                                  name=f"client{client_id}")
+            self._procs.append(proc)
+
+    def _client(self, client_id: int):
+        sim = self.sim
+        rng = self.rng.stream(f"client.{client_id}")
+        think_mean = self.think.think_mean
+        session_mean = self.think.session_mean
+        # Stagger arrivals over one mean think time to avoid a thundering
+        # herd at t=0.
+        yield rng.random() * think_mean
+        while True:
+            self.stats.sessions_started += 1
+            session_end = sim.now + rng.expovariate(1.0 / session_mean)
+            self.site.new_session(client_id, rng)
+            while sim.now < session_end:
+                name = self.choose(self.mix, rng)
+                started = sim.now
+                self.stats.interactions_started += 1
+                yield from self.site.perform(client_id, name, rng)
+                if self.recording:
+                    self.stats.record(name, sim.now - started)
+                yield rng.expovariate(1.0 / think_mean)
+
+    def begin_measurement(self) -> None:
+        """Zero the counters and start recording (end of ramp-up)."""
+        self.stats = ClientStats()
+        self.recording = True
+
+    def end_measurement(self) -> ClientStats:
+        self.recording = False
+        return self.stats

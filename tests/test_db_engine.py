@@ -1,0 +1,400 @@
+"""End-to-end SQL tests against the Database engine."""
+
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    IndexDef,
+    TableSchema,
+)
+from repro.db.errors import IntegrityError, LockError, SqlError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(TableSchema(
+        name="items",
+        columns=[
+            Column("id", ColumnType.INT, nullable=False),
+            Column("name", ColumnType.VARCHAR),
+            Column("category", ColumnType.INT),
+            Column("price", ColumnType.FLOAT),
+            Column("quantity", ColumnType.INT),
+        ],
+        primary_key="id",
+        auto_increment=True,
+        indexes=[IndexDef("idx_cat", ("category",))],
+    ))
+    database.create_table(TableSchema(
+        name="bids",
+        columns=[
+            Column("id", ColumnType.INT, nullable=False),
+            Column("item_id", ColumnType.INT),
+            Column("user_id", ColumnType.INT),
+            Column("amount", ColumnType.FLOAT),
+        ],
+        primary_key="id",
+        auto_increment=True,
+        indexes=[IndexDef("idx_item", ("item_id",))],
+    ))
+    for i in range(1, 21):
+        database.execute(
+            "INSERT INTO items (name, category, price, quantity) "
+            "VALUES (?, ?, ?, ?)",
+            (f"item{i:02d}", i % 4, float(i), 10))
+    for i in range(1, 11):
+        database.execute(
+            "INSERT INTO bids (item_id, user_id, amount) VALUES (?, ?, ?)",
+            (1 + (i % 5), i, 10.0 * i))
+    return database
+
+
+def test_insert_assigns_auto_increment(db):
+    result = db.execute(
+        "INSERT INTO items (name, category, price, quantity) "
+        "VALUES ('new', 1, 5.0, 3)")
+    assert result.last_insert_id == 21
+
+
+def test_select_by_primary_key_uses_index(db):
+    result = db.execute("SELECT name FROM items WHERE id = ?", (7,))
+    assert result.rows == [("item07",)]
+    assert result.stats.indexed_for_table("items") == 1
+    assert not result.stats.rows_examined_scan
+
+
+def test_select_by_secondary_index(db):
+    result = db.execute("SELECT id FROM items WHERE category = ?", (2,))
+    ids = sorted(r[0] for r in result.rows)
+    assert ids == [2, 6, 10, 14, 18]
+    assert result.stats.indexed_for_table("items") == 5
+
+
+def test_select_full_scan_counts_examined(db):
+    result = db.execute("SELECT id FROM items WHERE price > 18.0")
+    assert {r[0] for r in result.rows} == {19, 20}
+    assert result.stats.rows_examined_scan["items"] == 20
+
+
+def test_select_range_uses_pk_index(db):
+    result = db.execute("SELECT id FROM items WHERE id > 17")
+    assert sorted(r[0] for r in result.rows) == [18, 19, 20]
+    assert result.stats.indexed_for_table("items") == 3
+
+
+def test_order_by_and_limit(db):
+    result = db.execute(
+        "SELECT id, price FROM items ORDER BY price DESC LIMIT 3")
+    assert [r[0] for r in result.rows] == [20, 19, 18]
+
+
+def test_order_by_index_early_stop(db):
+    result = db.execute("SELECT id FROM items ORDER BY id LIMIT 5")
+    assert [r[0] for r in result.rows] == [1, 2, 3, 4, 5]
+    # Early termination: only LIMIT rows examined via the ordered index.
+    assert result.stats.indexed_for_table("items") == 5
+
+
+def test_order_by_multiple_keys(db):
+    result = db.execute(
+        "SELECT category, id FROM items ORDER BY category ASC, id DESC "
+        "LIMIT 6")
+    assert result.rows[0][0] == 0
+    cats = [r[0] for r in result.rows]
+    assert cats == sorted(cats)
+    zero_ids = [r[1] for r in result.rows if r[0] == 0]
+    assert zero_ids == sorted(zero_ids, reverse=True)
+
+
+def test_limit_offset(db):
+    result = db.execute("SELECT id FROM items ORDER BY id LIMIT 5 OFFSET 10")
+    assert [r[0] for r in result.rows] == [11, 12, 13, 14, 15]
+
+
+def test_join_with_index_probe(db):
+    result = db.execute(
+        "SELECT i.name, b.amount FROM bids b JOIN items i ON i.id = b.item_id "
+        "WHERE b.user_id = ?", (3,))
+    assert result.rows == [("item04", 30.0)]
+
+
+def test_comma_join_equivalent(db):
+    explicit = db.execute(
+        "SELECT b.id FROM bids b JOIN items i ON i.id = b.item_id "
+        "WHERE i.category = 1")
+    comma = db.execute(
+        "SELECT b.id FROM bids b, items i "
+        "WHERE i.id = b.item_id AND i.category = 1")
+    assert sorted(explicit.rows) == sorted(comma.rows)
+
+
+def test_left_join_preserves_unmatched(db):
+    db.execute("INSERT INTO items (name, category, price, quantity) "
+               "VALUES ('lonely', 9, 1.0, 1)")
+    result = db.execute(
+        "SELECT i.id, b.id FROM items i LEFT JOIN bids b ON b.item_id = i.id "
+        "WHERE i.category = 9")
+    assert result.rows == [(21, None)]
+
+
+def test_aggregates_global(db):
+    result = db.execute(
+        "SELECT COUNT(*), SUM(amount), MIN(amount), MAX(amount), AVG(amount) "
+        "FROM bids")
+    count, total, low, high, avg = result.rows[0]
+    assert count == 10
+    assert total == pytest.approx(550.0)
+    assert low == 10.0 and high == 100.0
+    assert avg == pytest.approx(55.0)
+
+
+def test_aggregates_empty_input(db):
+    result = db.execute("SELECT COUNT(*), MAX(amount) FROM bids WHERE id > 999")
+    assert result.rows == [(0, None)]
+
+
+def test_group_by_with_having_and_order(db):
+    result = db.execute(
+        "SELECT item_id, COUNT(*) AS cnt, MAX(amount) AS top FROM bids "
+        "GROUP BY item_id HAVING COUNT(*) > 1 ORDER BY top DESC")
+    assert all(row[1] > 1 for row in result.rows)
+    tops = [row[2] for row in result.rows]
+    assert tops == sorted(tops, reverse=True)
+
+
+def test_count_distinct(db):
+    result = db.execute("SELECT COUNT(DISTINCT item_id) FROM bids")
+    assert result.scalar() == 5
+
+
+def test_distinct_rows(db):
+    result = db.execute("SELECT DISTINCT category FROM items ORDER BY category")
+    assert [r[0] for r in result.rows] == [0, 1, 2, 3]
+
+
+def test_update_with_arithmetic(db):
+    db.execute("UPDATE items SET quantity = quantity - 1 WHERE id = ?", (5,))
+    result = db.execute("SELECT quantity FROM items WHERE id = 5")
+    assert result.scalar() == 9
+
+
+def test_update_rowcount(db):
+    result = db.execute("UPDATE items SET quantity = 0 WHERE category = 1")
+    assert result.rowcount == 5
+
+
+def test_update_does_not_see_own_writes(db):
+    # Halloween protection: moving rows into the scanned range must not
+    # cause re-processing.
+    db.execute("UPDATE items SET category = category + 1")
+    result = db.execute("SELECT COUNT(*) FROM items WHERE category = 4")
+    assert result.scalar() == 5
+
+
+def test_delete(db):
+    result = db.execute("DELETE FROM bids WHERE item_id = ?", (1,))
+    assert result.rowcount == 2
+    remaining = db.execute("SELECT COUNT(*) FROM bids").scalar()
+    assert remaining == 8
+
+
+def test_delete_then_insert_reuses_nothing(db):
+    db.execute("DELETE FROM items WHERE id = 20")
+    result = db.execute("INSERT INTO items (name, category, price, quantity) "
+                        "VALUES ('x', 0, 1.0, 1)")
+    assert result.last_insert_id == 21  # auto-increment never reused
+
+
+def test_like_patterns(db):
+    result = db.execute("SELECT id FROM items WHERE name LIKE 'item0%'")
+    assert len(result.rows) == 9
+    result = db.execute("SELECT id FROM items WHERE name LIKE 'item_5'")
+    assert {r[0] for r in result.rows} == {5, 15}
+
+
+def test_in_and_between(db):
+    result = db.execute("SELECT id FROM items WHERE id IN (1, 3, 99)")
+    assert sorted(r[0] for r in result.rows) == [1, 3]
+    result = db.execute("SELECT id FROM items WHERE price BETWEEN 4 AND 6")
+    assert sorted(r[0] for r in result.rows) == [4, 5, 6]
+
+
+def test_is_null_matching(db):
+    db.execute("INSERT INTO items (name, category, price, quantity) "
+               "VALUES ('nullcat', NULL, 1.0, 1)")
+    result = db.execute("SELECT id FROM items WHERE category IS NULL")
+    assert len(result.rows) == 1
+    result = db.execute("SELECT COUNT(*) FROM items WHERE category IS NOT NULL")
+    assert result.scalar() == 20
+
+
+def test_null_comparison_never_matches(db):
+    db.execute("INSERT INTO items (name, category, price, quantity) "
+               "VALUES ('nullcat', NULL, 1.0, 1)")
+    result = db.execute("SELECT id FROM items WHERE category = NULL")
+    assert result.rows == []
+
+
+def test_or_predicate(db):
+    result = db.execute(
+        "SELECT id FROM items WHERE id = 1 OR id = 2")
+    assert sorted(r[0] for r in result.rows) == [1, 2]
+
+
+def test_select_expression_projection(db):
+    result = db.execute(
+        "SELECT id, price * quantity AS total FROM items WHERE id = 3")
+    assert result.rows == [(3, 30.0)]
+    assert result.columns == ["id", "total"]
+
+
+def test_parameter_count_enforced(db):
+    with pytest.raises(SqlError):
+        db.execute("SELECT id FROM items WHERE id = ?", (1, 2))
+    with pytest.raises(SqlError):
+        db.execute("SELECT id FROM items WHERE id = ?")
+
+
+def test_unknown_table_and_column(db):
+    with pytest.raises(SqlError):
+        db.execute("SELECT id FROM ghosts")
+    with pytest.raises(SqlError):
+        db.execute("SELECT ghost FROM items")
+
+
+def test_ambiguous_column_rejected(db):
+    with pytest.raises(SqlError):
+        db.execute("SELECT id FROM items i JOIN bids b ON b.item_id = i.id")
+
+
+def test_ddl_via_sql(db):
+    db.execute("CREATE TABLE notes (id INT AUTO_INCREMENT, body TEXT)")
+    db.execute("INSERT INTO notes (body) VALUES ('hello')")
+    assert db.execute("SELECT body FROM notes").scalar() == "hello"
+    db.execute("CREATE INDEX idx_body ON notes (body)")
+    assert "idx_body" in db.table("notes").indexes
+
+
+def test_transaction_statements_are_noops(db):
+    db.execute("BEGIN")
+    db.execute("INSERT INTO items (name, category, price, quantity) "
+               "VALUES ('t', 0, 1.0, 1)")
+    db.execute("ROLLBACK")  # MyISAM: no effect
+    assert db.execute("SELECT COUNT(*) FROM items").scalar() == 21
+
+
+def test_lock_tables_enforcement(db):
+    session = db.open_session()
+    db.execute("LOCK TABLES items READ", session=session)
+    # Reading a locked table is fine.
+    db.execute("SELECT COUNT(*) FROM items", session=session)
+    # Writing a READ-locked table is rejected.
+    with pytest.raises(LockError):
+        db.execute("UPDATE items SET quantity = 0 WHERE id = 1",
+                    session=session)
+    # Touching an unlocked table is rejected.
+    with pytest.raises(LockError):
+        db.execute("SELECT COUNT(*) FROM bids", session=session)
+    db.execute("UNLOCK TABLES", session=session)
+    db.execute("SELECT COUNT(*) FROM bids", session=session)
+
+
+def test_lock_tables_write_allows_update(db):
+    session = db.open_session()
+    db.execute("LOCK TABLES items WRITE", session=session)
+    db.execute("UPDATE items SET quantity = 99 WHERE id = 1", session=session)
+    db.execute("UNLOCK TABLES", session=session)
+    assert db.execute("SELECT quantity FROM items WHERE id = 1").scalar() == 99
+
+
+def test_sessions_are_isolated(db):
+    s1 = db.open_session()
+    s2 = db.open_session()
+    db.execute("LOCK TABLES items READ", session=s1)
+    # s2 holds no locks, so it is unrestricted (functional layer is
+    # single-threaded; contention happens in the simulation layer).
+    db.execute("SELECT COUNT(*) FROM bids", session=s2)
+
+
+def test_duplicate_primary_key_rejected(db):
+    with pytest.raises(IntegrityError):
+        db.execute("INSERT INTO items (id, name, category, price, quantity) "
+                   "VALUES (1, 'dup', 0, 1.0, 1)")
+
+
+def test_not_null_enforced(db):
+    db.create_table(TableSchema(
+        name="strict",
+        columns=[Column("id", ColumnType.INT, nullable=False),
+                 Column("req", ColumnType.VARCHAR, nullable=False)],
+        primary_key="id", auto_increment=True))
+    with pytest.raises(IntegrityError):
+        db.execute("INSERT INTO strict (req) VALUES (NULL)")
+
+
+def test_cost_scales_scans_by_nominal_rows():
+    db = Database()
+    schema = TableSchema(
+        name="big",
+        columns=[Column("id", ColumnType.INT, nullable=False),
+                 Column("x", ColumnType.INT)],
+        primary_key="id", auto_increment=True)
+    schema.stats.nominal_rows = 100_000
+    db.create_table(schema)
+    for i in range(100):
+        db.execute("INSERT INTO big (x) VALUES (?)", (i,))
+    scan = db.execute("SELECT COUNT(*) FROM big WHERE x > -1")
+    probe = db.execute("SELECT x FROM big WHERE id = 5")
+    # The scan is priced at ~100k scaled rows, dwarfing the probe.
+    assert scan.cost.scaled_rows_examined == pytest.approx(100_000)
+    assert scan.cost.cpu_seconds > 100 * probe.cost.cpu_seconds
+
+
+def test_index_probe_cost_not_scaled():
+    db = Database()
+    schema = TableSchema(
+        name="big",
+        columns=[Column("id", ColumnType.INT, nullable=False),
+                 Column("x", ColumnType.INT)],
+        primary_key="id", auto_increment=True)
+    schema.stats.nominal_rows = 1_000_000
+    db.create_table(schema)
+    for i in range(50):
+        db.execute("INSERT INTO big (x) VALUES (?)", (i,))
+    probe = db.execute("SELECT x FROM big WHERE id = 5")
+    assert probe.cost.scaled_rows_examined == 1.0
+
+
+def test_result_set_helpers(db):
+    result = db.execute("SELECT id, name FROM items WHERE id = 1")
+    assert result.first() == (1, "item01")
+    assert result.as_dicts() == [{"id": 1, "name": "item01"}]
+    empty = db.execute("SELECT id FROM items WHERE id = 999")
+    assert empty.first() is None
+    assert empty.scalar() is None
+
+
+def test_left_join_where_is_null_antijoin(db):
+    """WHERE predicates on an outer-joined table evaluate after the
+    join: the classic anti-join finds rows with no match."""
+    # Items 6..20 have no bids (bids cover item_id 1..5).
+    result = db.execute(
+        "SELECT COUNT(*) FROM items i LEFT JOIN bids b ON b.item_id = i.id "
+        "WHERE b.id IS NULL")
+    assert result.scalar() == 15
+    # And the complementary filter keeps only matched rows.
+    matched = db.execute(
+        "SELECT COUNT(DISTINCT i.id) FROM items i "
+        "LEFT JOIN bids b ON b.item_id = i.id WHERE b.id IS NOT NULL")
+    assert matched.scalar() == 5
+
+
+def test_left_join_where_filter_on_inner_value(db):
+    """A WHERE filter on the outer table's column drops NULL rows."""
+    result = db.execute(
+        "SELECT i.id, b.amount FROM items i "
+        "LEFT JOIN bids b ON b.item_id = i.id WHERE b.amount > 90")
+    assert all(row[1] > 90 for row in result.rows)

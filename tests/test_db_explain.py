@@ -1,0 +1,100 @@
+"""Tests for EXPLAIN plan descriptions."""
+
+import pytest
+
+from repro.db import Column, ColumnType, Database, IndexDef, TableSchema
+from repro.db.errors import SqlError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(TableSchema(
+        name="items",
+        columns=[Column("id", ColumnType.INT, nullable=False),
+                 Column("category", ColumnType.INT),
+                 Column("end_date", ColumnType.FLOAT),
+                 Column("name", ColumnType.VARCHAR)],
+        primary_key="id", auto_increment=True,
+        indexes=[IndexDef("idx_cat_end", ("category", "end_date"))]))
+    database.create_table(TableSchema(
+        name="bids",
+        columns=[Column("id", ColumnType.INT, nullable=False),
+                 Column("item_id", ColumnType.INT),
+                 Column("amount", ColumnType.FLOAT)],
+        primary_key="id", auto_increment=True,
+        indexes=[IndexDef("idx_item", ("item_id",))]))
+    for i in range(1, 30):
+        database.execute(
+            "INSERT INTO items (category, end_date, name) VALUES (?, ?, ?)",
+            (i % 3, float(i), f"item{i}"))
+    return database
+
+
+def _plan(db, sql):
+    result = db.execute(sql)
+    assert result.kind == "explain"
+    return result.rows
+
+
+def test_explain_pk_probe(db):
+    rows = _plan(db, "EXPLAIN SELECT name FROM items WHERE id = 5")
+    assert rows[0][1] == "items"
+    assert rows[0][2] == "index_eq"
+    assert rows[0][3] == "pk_items"
+
+
+def test_explain_full_scan_with_filter(db):
+    rows = _plan(db, "EXPLAIN SELECT id FROM items WHERE name LIKE 'x%'")
+    assert rows[0][2] == "scan"
+    assert "filter" in rows[0][4]
+
+
+def test_explain_ordered_composite_index(db):
+    """The MySQL-style 'equality prefix + ORDER BY next column' plan is
+    visible: ordered index_eq, no sort step."""
+    rows = _plan(db, "EXPLAIN SELECT id FROM items WHERE category = 1 "
+                     "ORDER BY end_date LIMIT 5")
+    assert rows[0][2] == "index_eq"
+    assert rows[0][3] == "idx_cat_end"
+    assert "ordered" in rows[0][4]
+    assert all(row[2] != "sort" for row in rows)
+
+
+def test_explain_sort_step_when_not_indexed(db):
+    rows = _plan(db, "EXPLAIN SELECT id FROM items WHERE category = 1 "
+                     "ORDER BY name")
+    assert rows[-1][2] == "sort"
+
+
+def test_explain_join_order(db):
+    rows = _plan(db, "EXPLAIN SELECT i.name FROM bids b "
+                     "JOIN items i ON i.id = b.item_id WHERE b.item_id = 3")
+    assert [row[1] for row in rows] == ["bids", "items"]
+    assert rows[0][2] == "index_eq"
+    assert rows[1][3] == "pk_items"
+
+
+def test_explain_aggregate_step(db):
+    rows = _plan(db, "EXPLAIN SELECT category, COUNT(*) FROM items "
+                     "GROUP BY category")
+    assert rows[-1][2] == "aggregate"
+
+
+def test_explain_update_and_delete(db):
+    rows = _plan(db, "EXPLAIN UPDATE items SET name = 'x' WHERE id = 1")
+    assert rows[0][2] == "index_eq"
+    rows = _plan(db, "EXPLAIN DELETE FROM items WHERE category = 2")
+    assert rows[0][3] == "idx_cat_end"
+
+
+def test_explain_rejects_non_dml(db):
+    with pytest.raises(SqlError):
+        db.execute("EXPLAIN LOCK TABLES items READ")
+
+
+def test_explain_runs_nothing(db):
+    before = db.execute("SELECT COUNT(*) FROM items").scalar()
+    db.execute("EXPLAIN DELETE FROM items WHERE id > 0")
+    after = db.execute("SELECT COUNT(*) FROM items").scalar()
+    assert before == after

@@ -1,0 +1,252 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.db.errors import SqlError
+from repro.db.sql import nodes as n
+from repro.db.sql.lexer import tokenize
+from repro.db.sql.parser import parse
+
+
+# ------------------------------------------------------------------- lexer
+
+def test_lexer_keywords_case_insensitive():
+    tokens = tokenize("select FROM Where")
+    assert [t.kind for t in tokens[:-1]] == ["KEYWORD"] * 3
+    assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+
+def test_lexer_identifiers_keep_case():
+    tokens = tokenize("myTable")
+    assert tokens[0].kind == "IDENT"
+    assert tokens[0].value == "myTable"
+
+
+def test_lexer_numbers():
+    tokens = tokenize("42 3.14")
+    assert tokens[0].kind == "INT" and tokens[0].value == 42
+    assert tokens[1].kind == "FLOAT" and tokens[1].value == pytest.approx(3.14)
+
+
+def test_lexer_strings_both_quotes_and_escapes():
+    tokens = tokenize("'it''s' \"a\\\"b\"")
+    assert tokens[0].value == "it's"
+    assert tokens[1].value == 'a"b'
+
+
+def test_lexer_unterminated_string():
+    with pytest.raises(SqlError):
+        tokenize("'oops")
+
+
+def test_lexer_params_both_styles():
+    tokens = tokenize("? %s")
+    assert tokens[0].kind == "PARAM"
+    assert tokens[1].kind == "PARAM"
+
+
+def test_lexer_comparison_operators():
+    kinds = [t.kind for t in tokenize("<= >= != <> < > =")][:-1]
+    assert kinds == ["LE", "GE", "NE", "NE", "LT", "GT", "EQ"]
+
+
+def test_lexer_comments_stripped():
+    tokens = tokenize("SELECT -- comment here\n 1")
+    assert tokens[0].value == "SELECT"
+    assert tokens[1].value == 1
+
+
+def test_lexer_backtick_identifiers():
+    tokens = tokenize("`weird name`")
+    assert tokens[0].kind == "IDENT"
+    assert tokens[0].value == "weird name"
+
+
+def test_lexer_rejects_garbage():
+    with pytest.raises(SqlError):
+        tokenize("SELECT @@version")
+
+
+# ------------------------------------------------------------------ parser
+
+def test_parse_minimal_select():
+    stmt, nparams = parse("SELECT id FROM items")
+    assert isinstance(stmt, n.Select)
+    assert stmt.table.name == "items"
+    assert nparams == 0
+
+
+def test_parse_select_star():
+    stmt, __ = parse("SELECT * FROM items")
+    assert stmt.items[0].star
+
+
+def test_parse_qualified_star():
+    stmt, __ = parse("SELECT i.* FROM items i")
+    assert stmt.items[0].star
+    assert stmt.items[0].star_table == "i"
+
+
+def test_parse_select_with_everything():
+    stmt, nparams = parse(
+        "SELECT i.id, COUNT(*) AS cnt FROM items i "
+        "JOIN bids b ON b.item_id = i.id "
+        "WHERE i.category = ? AND b.bid > 10 "
+        "GROUP BY i.id HAVING COUNT(*) > 2 "
+        "ORDER BY cnt DESC LIMIT 25 OFFSET 5")
+    assert nparams == 1
+    assert len(stmt.joins) == 1
+    assert stmt.group_by
+    assert stmt.having is not None
+    assert stmt.order_by[0].descending
+    assert stmt.limit.value == 25
+    assert stmt.offset.value == 5
+
+
+def test_parse_limit_comma_form():
+    stmt, __ = parse("SELECT id FROM t LIMIT 10, 20")
+    assert stmt.offset.value == 10
+    assert stmt.limit.value == 20
+
+
+def test_parse_comma_join():
+    stmt, __ = parse("SELECT a.x FROM t1 a, t2 b WHERE a.id = b.id")
+    assert len(stmt.joins) == 1
+    assert stmt.joins[0].condition is None
+
+
+def test_parse_left_join():
+    stmt, __ = parse("SELECT a.x FROM t1 a LEFT JOIN t2 b ON a.id = b.a_id")
+    assert stmt.joins[0].outer
+
+
+def test_parse_table_alias_forms():
+    stmt, __ = parse("SELECT x FROM items AS it")
+    assert stmt.table.alias == "it"
+    stmt, __ = parse("SELECT x FROM items it")
+    assert stmt.table.alias == "it"
+
+
+def test_parse_param_order_is_lexical():
+    stmt, nparams = parse(
+        "SELECT a FROM t WHERE b = ? AND c = %s LIMIT ?")
+    assert nparams == 3
+    conjs = stmt.where.operands
+    assert conjs[0].right.index == 0
+    assert conjs[1].right.index == 1
+    assert stmt.limit.index == 2
+
+
+def test_parse_insert():
+    stmt, nparams = parse(
+        "INSERT INTO users (name, age) VALUES (?, ?)")
+    assert isinstance(stmt, n.Insert)
+    assert stmt.columns == ["name", "age"]
+    assert nparams == 2
+
+
+def test_parse_insert_column_count_mismatch():
+    with pytest.raises(SqlError):
+        parse("INSERT INTO users (a, b) VALUES (1)")
+
+
+def test_parse_update():
+    stmt, nparams = parse(
+        "UPDATE items SET quantity = quantity - 1, price = ? WHERE id = ?")
+    assert isinstance(stmt, n.Update)
+    assert stmt.assignments[0][0] == "quantity"
+    assert nparams == 2
+
+
+def test_parse_delete():
+    stmt, __ = parse("DELETE FROM cart WHERE session_id = 'x'")
+    assert isinstance(stmt, n.Delete)
+
+
+def test_parse_lock_tables():
+    stmt, __ = parse("LOCK TABLES items WRITE, authors READ")
+    assert isinstance(stmt, n.LockTables)
+    assert stmt.locks == [("items", "WRITE"), ("authors", "READ")]
+
+
+def test_parse_unlock_tables():
+    stmt, __ = parse("UNLOCK TABLES")
+    assert isinstance(stmt, n.UnlockTables)
+
+
+def test_parse_create_table():
+    stmt, __ = parse(
+        "CREATE TABLE users (id INT AUTO_INCREMENT, name VARCHAR(20) "
+        "NOT NULL, bio TEXT, rating FLOAT, created DATETIME)")
+    schema = stmt.schema
+    assert schema.primary_key == "id"
+    assert schema.auto_increment
+    assert not schema.column("name").nullable
+
+
+def test_parse_create_index():
+    stmt, __ = parse("CREATE UNIQUE INDEX idx_nick ON users (nickname)")
+    assert stmt.index.unique
+    assert stmt.index.columns == ("nickname",)
+    stmt, __ = parse("CREATE INDEX i2 ON users (region) USING HASH")
+    assert stmt.index.kind == "hash"
+
+
+def test_parse_transaction_statements():
+    for sql in ("BEGIN", "COMMIT", "ROLLBACK"):
+        stmt, __ = parse(sql)
+        assert isinstance(stmt, n.Transaction)
+
+
+def test_parse_between_and_in_and_like():
+    stmt, __ = parse(
+        "SELECT id FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3) "
+        "AND name LIKE 'foo%' AND c IS NOT NULL")
+    conjs = stmt.where.operands
+    assert isinstance(conjs[0], n.BetweenOp)
+    assert isinstance(conjs[1], n.InOp)
+    assert isinstance(conjs[2], n.LikeOp)
+    assert isinstance(conjs[3], n.IsNullOp) and conjs[3].negated
+
+
+def test_parse_not_variants():
+    stmt, __ = parse("SELECT id FROM t WHERE a NOT LIKE 'x%' AND b NOT IN (1)")
+    conjs = stmt.where.operands
+    assert conjs[0].negated
+    assert conjs[1].negated
+
+
+def test_parse_negative_literal():
+    stmt, __ = parse("SELECT id FROM t WHERE a = -5")
+    assert stmt.where.right.value == -5
+
+
+def test_parse_arith_precedence():
+    stmt, __ = parse("SELECT a + b * 2 FROM t")
+    expr = stmt.items[0].expr
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_parse_trailing_garbage_rejected():
+    with pytest.raises(SqlError):
+        parse("SELECT id FROM t garbage extra ,")
+
+
+def test_parse_unknown_statement_rejected():
+    with pytest.raises(SqlError):
+        parse("GRANT ALL ON x")
+
+
+def test_parse_aggregates():
+    stmt, __ = parse(
+        "SELECT COUNT(*), MAX(bid), AVG(price), COUNT(DISTINCT uid) FROM b")
+    aggs = [item.expr for item in stmt.items]
+    assert aggs[0].arg is None
+    assert aggs[1].func == "MAX"
+    assert aggs[3].distinct
+
+
+def test_parse_semicolon_tolerated():
+    stmt, __ = parse("SELECT id FROM t;")
+    assert isinstance(stmt, n.Select)

@@ -1,0 +1,154 @@
+"""Unit tests for row storage and index maintenance internals."""
+
+import pytest
+
+from repro.db.errors import IntegrityError, SqlError
+from repro.db.index import HashIndex, SortedIndex
+from repro.db.schema import Column, ColumnType, IndexDef, TableSchema
+from repro.db.storage import Table
+
+
+def make_table(**kwargs):
+    defaults = dict(
+        name="t",
+        columns=[Column("id", ColumnType.INT, nullable=False),
+                 Column("k", ColumnType.INT),
+                 Column("v", ColumnType.VARCHAR)],
+        primary_key="id", auto_increment=True,
+        indexes=[IndexDef("idx_k", ("k",))])
+    defaults.update(kwargs)
+    return Table(TableSchema(**defaults))
+
+
+# ------------------------------------------------------------------- table
+
+def test_insert_defaults_and_unknown_columns():
+    table = make_table()
+    rowid = table.insert({"k": 1})
+    assert table.get_row(rowid) == [1, 1, None]
+    with pytest.raises(SqlError):
+        table.insert({"ghost": 1})
+
+
+def test_auto_increment_respects_explicit_values():
+    table = make_table()
+    table.insert({"id": 10, "k": 1})
+    rowid = table.insert({"k": 2})
+    assert table.get_row(rowid)[0] == 11
+    assert table.next_auto_increment == 12
+
+
+def test_tombstone_delete_and_scan():
+    table = make_table()
+    ids = [table.insert({"k": i}) for i in range(5)]
+    table.delete_row(ids[2])
+    assert len(table) == 4
+    assert list(table.scan()) == [0, 1, 3, 4]
+    assert table.get_row(ids[2]) is None
+    table.delete_row(ids[2])     # idempotent
+    assert len(table) == 4
+
+
+def test_update_moves_index_entries():
+    table = make_table()
+    rowid = table.insert({"k": 5})
+    index = table.indexes["idx_k"]
+    assert index.lookup((5,)) == [rowid]
+    table.update_row(rowid, {"k": 9})
+    assert index.lookup((5,)) == []
+    assert index.lookup((9,)) == [rowid]
+
+
+def test_update_rollback_on_unique_violation():
+    table = make_table(indexes=[IndexDef("uk", ("k",), unique=True)])
+    table.insert({"k": 1, "v": "a"})
+    second = table.insert({"k": 2, "v": "b"})
+    with pytest.raises(IntegrityError):
+        table.update_row(second, {"k": 1, "v": "changed"})
+    # The whole row image is restored, not just the indexed column.
+    assert table.get_row(second) == [2, 2, "b"]
+    assert sorted(table.indexes["uk"].lookup((2,))) == [second]
+
+
+def test_insert_rollback_on_unique_violation():
+    table = make_table(indexes=[IndexDef("uk", ("k",), unique=True),
+                                IndexDef("idx_v", ("v",))])
+    table.insert({"k": 1, "v": "a"})
+    with pytest.raises(IntegrityError):
+        table.insert({"k": 1, "v": "b"})
+    assert len(table) == 1
+    assert table.indexes["idx_v"].lookup(("b",)) == []
+
+
+def test_create_index_backfills_existing_rows():
+    table = make_table(indexes=[])
+    for i in range(4):
+        table.insert({"k": i % 2})
+    table.create_index(IndexDef("late", ("k",)))
+    assert sorted(table.indexes["late"].lookup((0,))) == [0, 2]
+
+
+def test_duplicate_index_name_rejected():
+    table = make_table()
+    with pytest.raises(SqlError):
+        table.create_index(IndexDef("idx_k", ("k",)))
+
+
+def test_rows_as_dicts():
+    table = make_table()
+    table.insert({"k": 1, "v": "x"})
+    assert list(table.rows_as_dicts()) == [{"id": 1, "k": 1, "v": "x"}]
+
+
+def test_index_on_prefix_match():
+    table = make_table(indexes=[IndexDef("ab", ("k", "v"))])
+    assert table.index_on(["k"]).name == "ab"
+    assert table.index_on(["v"]) is None
+    assert table.sorted_index_on(("k",)).name == "ab"
+
+
+# ------------------------------------------------------------------ indexes
+
+def test_sorted_index_range_bounds():
+    index = SortedIndex("s", ("k",))
+    for i in range(10):
+        index.insert((i,), i)
+    assert list(index.range((3,), (6,))) == [3, 4, 5, 6]
+    assert list(index.range((3,), (6,), low_inclusive=False,
+                            high_inclusive=False)) == [4, 5]
+    assert list(index.range(None, (2,))) == [0, 1, 2]
+    assert list(index.range((8,), None)) == [8, 9]
+
+
+def test_sorted_index_scan_directions():
+    index = SortedIndex("s", ("k",))
+    for i in (3, 1, 2):
+        index.insert((i,), i)
+    assert list(index.scan()) == [1, 2, 3]
+    assert list(index.scan(descending=True)) == [3, 2, 1]
+
+
+def test_null_keys_live_in_side_bucket():
+    for index in (SortedIndex("s", ("k",)), HashIndex("h", ("k",))):
+        index.insert((None,), 7)
+        index.insert((1,), 8)
+        assert index.lookup((None,)) == []
+        assert index.null_rows() == [7]
+        assert len(index) == 2
+        index.delete((None,), 7)
+        assert index.null_rows() == []
+
+
+def test_hash_index_unique_violation():
+    index = HashIndex("h", ("k",), unique=True)
+    index.insert((1,), 0)
+    with pytest.raises(IntegrityError):
+        index.insert((1,), 1)
+
+
+def test_sorted_index_delete_specific_rowid():
+    index = SortedIndex("s", ("k",))
+    index.insert((1,), 10)
+    index.insert((1,), 11)
+    index.delete((1,), 10)
+    assert index.lookup((1,)) == [11]

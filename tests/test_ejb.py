@@ -1,0 +1,309 @@
+"""Tests for the EJB container: CMP entities, session façades, RMI stubs."""
+
+import pytest
+
+from repro.db import Column, ColumnType, Database, IndexDef, TableSchema
+from repro.middleware.ejb import EjbContainer, SessionBean
+from repro.middleware.trace import InteractionTrace
+
+
+def make_db():
+    db = Database()
+    db.create_table(TableSchema(
+        name="accounts",
+        columns=[Column("id", ColumnType.INT, nullable=False),
+                 Column("owner", ColumnType.VARCHAR),
+                 Column("balance", ColumnType.FLOAT),
+                 Column("region", ColumnType.INT)],
+        primary_key="id", auto_increment=True,
+        indexes=[IndexDef("idx_region", ("region",))]))
+    for i in range(1, 6):
+        db.execute("INSERT INTO accounts (owner, balance, region) "
+                   "VALUES (?, ?, ?)", (f"user{i}", 100.0 * i, i % 2))
+    return db
+
+
+@pytest.fixture
+def container():
+    db = make_db()
+    ejb = EjbContainer(db)
+    ejb.deploy_entity("accounts")
+    return ejb
+
+
+def test_find_by_primary_key_and_lazy_load(container):
+    """Default (row) mode: the first field access loads the whole row."""
+    with container.transaction():
+        bean = container.home("accounts").find_by_primary_key(3)
+        assert container.entity_loads == 0    # not loaded yet
+        assert bean.owner == "user3"          # first access triggers ejbLoad
+        assert container.entity_loads == 1
+        assert bean.balance == 300.0
+        assert container.entity_loads == 1    # whole row came in one query
+
+
+def test_field_load_mode_issues_query_per_field():
+    """JOnAS-style per-field lazy loading (ablation mode)."""
+    db = make_db()
+    ejb = EjbContainer(db, load_mode="field")
+    ejb.deploy_entity("accounts")
+    trace = InteractionTrace()
+    with ejb.transaction(trace=trace):
+        bean = ejb.home("accounts").find_by_primary_key(3)
+        assert bean.owner == "user3"
+        assert ejb.entity_loads == 1
+        assert bean.balance == 300.0
+        assert ejb.entity_loads == 2          # one query per field
+    sqls = [q.sql for q in trace.queries()]
+    assert any(s.startswith("SELECT owner FROM accounts") for s in sqls)
+    assert any(s.startswith("SELECT balance FROM accounts") for s in sqls)
+
+
+def test_find_by_primary_key_missing(container):
+    with container.transaction():
+        with pytest.raises(KeyError):
+            container.home("accounts").find_by_primary_key(999)
+
+
+def test_finder_generates_pk_only_select_then_n_plus_one(container):
+    trace = InteractionTrace()
+    with container.transaction(trace=trace):
+        beans = container.home("accounts").find_by("region", 1)
+        assert len(beans) == 3
+        owners = sorted(b.owner for b in beans)
+        assert owners == ["user1", "user3", "user5"]
+    sqls = [q.sql for q in trace.queries()]
+    # 1 finder + 3 individual ejbLoads: the N+1 pattern.
+    assert sqls[0].startswith("SELECT id FROM accounts WHERE region")
+    assert sum("SELECT * FROM accounts" in s for s in sqls) == 3
+
+
+def test_field_store_mode_issues_update_per_field(container):
+    trace = InteractionTrace()
+    with container.transaction(trace=trace):
+        bean = container.home("accounts").find_by_primary_key(1)
+        bean.balance = 500.0
+        bean.owner = "renamed"
+    updates = [q for q in trace.queries() if q.kind == "update"]
+    assert len(updates) == 2     # one short UPDATE per dirty field
+    db = container.database
+    assert db.execute("SELECT balance FROM accounts WHERE id = 1").scalar() \
+        == 500.0
+    assert db.execute("SELECT owner FROM accounts WHERE id = 1").scalar() \
+        == "renamed"
+
+
+def test_row_store_mode_issues_single_update():
+    db = make_db()
+    ejb = EjbContainer(db, store_mode="row")
+    ejb.deploy_entity("accounts")
+    trace = InteractionTrace()
+    with ejb.transaction(trace=trace):
+        bean = ejb.home("accounts").find_by_primary_key(1)
+        bean.balance = 500.0
+        bean.owner = "renamed"
+    updates = [q for q in trace.queries() if q.kind == "update"]
+    assert len(updates) == 1
+    assert db.execute("SELECT owner FROM accounts WHERE id = 1").scalar() \
+        == "renamed"
+
+
+def test_stores_flush_only_at_commit(container):
+    db = container.database
+    with container.transaction():
+        bean = container.home("accounts").find_by_primary_key(1)
+        bean.balance = 999.0
+        # Not yet visible: ejbStore runs at commit.
+        assert db.execute(
+            "SELECT balance FROM accounts WHERE id = 1").scalar() == 100.0
+    assert db.execute(
+        "SELECT balance FROM accounts WHERE id = 1").scalar() == 999.0
+
+
+def test_create_inserts_immediately(container):
+    with container.transaction():
+        bean = container.home("accounts").create(
+            owner="fresh", balance=1.0, region=0)
+        assert bean.primary_key == 6
+        assert bean.owner == "fresh"
+    assert container.database.execute(
+        "SELECT COUNT(*) FROM accounts").scalar() == 6
+
+
+def test_remove_deletes_row(container):
+    with container.transaction():
+        bean = container.home("accounts").find_by_primary_key(2)
+        bean.remove()
+        with pytest.raises(RuntimeError):
+            __ = bean.owner
+    assert container.database.execute(
+        "SELECT COUNT(*) FROM accounts").scalar() == 4
+
+
+def test_identity_map_within_transaction(container):
+    with container.transaction():
+        home = container.home("accounts")
+        a = home.find_by_primary_key(1)
+        b = home.find_by_primary_key(1)
+        assert a is b
+
+
+def test_instances_do_not_survive_transactions(container):
+    with container.transaction():
+        bean = container.home("accounts").find_by_primary_key(1)
+        assert bean.owner == "user1"
+    loads_before = container.entity_loads
+    with container.transaction():
+        bean = container.home("accounts").find_by_primary_key(1)
+        assert bean.owner == "user1"
+    assert container.entity_loads == loads_before + 1  # re-loaded
+
+
+def test_entity_access_outside_transaction_rejected(container):
+    with pytest.raises(RuntimeError):
+        container.home("accounts").find_by_primary_key(1)
+
+
+def test_pk_is_immutable(container):
+    from repro.db.errors import SqlError
+    with container.transaction():
+        bean = container.home("accounts").find_by_primary_key(1)
+        with pytest.raises(SqlError):
+            bean.id = 99
+
+
+def test_unknown_field_rejected(container):
+    with container.transaction():
+        bean = container.home("accounts").find_by_primary_key(1)
+        with pytest.raises(AttributeError):
+            __ = bean.ghost
+        with pytest.raises(AttributeError):
+            bean.ghost = 1
+
+
+def test_session_facade_via_rmi_stub(container):
+    class AccountFacade(SessionBean):
+        def transfer(self, src, dst, amount):
+            home = self.home("accounts")
+            a = home.find_by_primary_key(src)
+            b = home.find_by_primary_key(dst)
+            a.balance = a.balance - amount
+            b.balance = b.balance + amount
+            return {"src": a.balance, "dst": b.balance}
+
+    container.deploy_session("AccountFacade", AccountFacade)
+    trace = InteractionTrace()
+    stub = container.lookup("AccountFacade", trace=trace)
+    result = stub.transfer(1, 2, 25.0)
+    assert result == {"src": 75.0, "dst": 225.0}
+    assert len(trace.rmi_calls()) == 1
+    method, req_bytes, reply_bytes = trace.rmi_calls()[0]
+    assert method == "transfer"
+    assert req_bytes > 300 and reply_bytes > 300
+    # Queries from inside the transaction landed on the same trace.
+    assert trace.query_count() >= 4
+    db = container.database
+    assert db.execute("SELECT balance FROM accounts WHERE id = 1").scalar() \
+        == 75.0
+
+
+def test_nested_transactions_join(container):
+    class Facade(SessionBean):
+        def outer(self):
+            with self.ejb.transaction():
+                bean = self.home("accounts").find_by_primary_key(1)
+                bean.balance = 1.0
+            return "ok"
+
+    container.deploy_session("F", Facade)
+    stub = container.lookup("F")
+    assert stub.outer() == "ok"
+    assert container.database.execute(
+        "SELECT balance FROM accounts WHERE id = 1").scalar() == 1.0
+
+
+def test_deploy_all_entities():
+    db = make_db()
+    ejb = EjbContainer(db)
+    ejb.deploy_all_entities()
+    assert ejb.home("accounts") is not None
+
+
+def test_unknown_session_bean(container):
+    with pytest.raises(KeyError):
+        container.lookup("Ghost")
+
+
+def test_duplicate_deploys_rejected(container):
+    with pytest.raises(ValueError):
+        container.deploy_entity("accounts")
+    container.deploy_session("X", lambda c: SessionBean(c))
+    with pytest.raises(ValueError):
+        container.deploy_session("X", lambda c: SessionBean(c))
+
+
+def test_bad_store_mode_rejected():
+    with pytest.raises(ValueError):
+        EjbContainer(make_db(), store_mode="eager")
+    with pytest.raises(ValueError):
+        EjbContainer(make_db(), load_mode="eager")
+
+
+def test_find_where_and_find_all(container):
+    with container.transaction():
+        home = container.home("accounts")
+        rich = home.find_where("balance >= ?", (300.0,),
+                               order_by="balance", descending=True)
+        assert [b.primary_key for b in rich] == [5, 4, 3]
+        all_beans = home.find_all(limit=2)
+        assert len(all_beans) == 2
+
+
+def test_field_access_counter(container):
+    with container.transaction():
+        bean = container.home("accounts").find_by_primary_key(1)
+        __ = bean.owner
+        __ = bean.balance
+        bean.balance = 1.0
+    assert container.field_accesses == 3
+
+
+def test_stateful_session_bean_keeps_conversational_state(container):
+    from repro.middleware.ejb.session import StatefulSessionBean
+
+    class CartBean(StatefulSessionBean):
+        def ejb_activate(self):
+            self.items = []
+            self.active = True
+
+        def ejb_passivate(self):
+            self.active = False
+
+        def add(self, item):
+            self.items.append(item)
+            return len(self.items)
+
+        def contents(self):
+            return list(self.items)
+
+    container.deploy_session("StatefulCart", CartBean)
+    stub = container.create_stateful("StatefulCart")
+    assert stub.add("book") == 1
+    assert stub.add("cd") == 2
+    assert stub.contents() == ["book", "cd"]       # state survived calls
+    # A second conversation gets its own instance.
+    other = container.create_stateful("StatefulCart")
+    assert other.contents() == []
+    container.release_stateful(stub)
+    assert stub._bean.active is False
+
+
+def test_stateless_lookup_gives_fresh_instance_per_lookup(container):
+    class Sticky(SessionBean):
+        def poke(self):
+            self.touched = getattr(self, "touched", 0) + 1
+            return self.touched
+
+    container.deploy_session("Sticky", Sticky)
+    assert container.lookup("Sticky").poke() == 1
+    assert container.lookup("Sticky").poke() == 1  # new instance each time

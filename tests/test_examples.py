@@ -1,0 +1,57 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the fast examples run here (the sweep-based ones take minutes and
+are exercised by the benchmark suite instead); each is executed in-
+process with its output captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    saved_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    return capsys.readouterr().out
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "bookstore_shopping.py",
+            "auction_bidding.py", "custom_architecture.py",
+            "analytic_model.py", "wirt_compliance.py",
+            "bulletin_board.py"} <= names
+
+
+def test_quickstart_runs(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "/best_sellers" in out
+    assert "EJB" in out
+    # The headline observation is visible in the output: EJB issues far
+    # more queries than PHP on the same page.
+    assert "lock_stmts=2" in out      # PHP buy_confirm uses LOCK TABLES
+    assert "sync_spans=1" in out      # the sync servlet replaces them
+
+
+def test_bulletin_board_example_runs(capsys):
+    out = run_example("bulletin_board.py", capsys)
+    assert "prediction HOLDS" in out
+    assert "Ws-Servlet-EJB-DB" in out
+
+
+@pytest.mark.slow
+def test_analytic_model_example_runs(capsys):
+    out = run_example("analytic_model.py", capsys)
+    assert "MVA throughput curve" in out
+    assert "bottleneck" in out

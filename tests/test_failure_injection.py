@@ -1,0 +1,162 @@
+"""Failure injection: interrupted interactions, exhausted pools, and
+lock hygiene under adversarial timing."""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.apps.bookstore import BookstoreApp, build_bookstore_database
+from repro.harness.profiles import profile_application
+from repro.sim import Simulator
+from repro.sim.kernel import Interrupt
+from repro.topology.configs import WS_PHP_DB, WS_SERVLET_DB_SYNC
+from repro.topology.simulation import SimulatedSite
+
+
+@pytest.fixture(scope="module")
+def app():
+    return BookstoreApp(build_bookstore_database(scale=0.002, tiny=True))
+
+
+@pytest.fixture(scope="module")
+def php_profile(app):
+    return profile_application(app, app.deploy_php(), "php", repetitions=2)
+
+
+@pytest.fixture(scope="module")
+def sync_profile(app):
+    return profile_application(
+        app, app.deploy_servlet(sync_locking=True), "servlet_sync",
+        repetitions=2)
+
+
+def _no_dangling_locks(site) -> bool:
+    for lock in site._table_locks.values():
+        if lock.writer or lock.readers or lock.waiting_writers or \
+                lock.waiting_readers:
+            return False
+    for lock in site._sync_locks.values():
+        if lock.writer or lock.readers:
+            return False
+    return True
+
+
+def _run_with_interrupt(profile, config, interaction, interrupt_at,
+                        seed=3) -> bool:
+    """Run one interaction, interrupt it mid-flight, verify lock
+    hygiene.  Returns True if the interrupt actually landed."""
+    sim = Simulator()
+    site = SimulatedSite(sim, config, profile)
+
+    landed = []
+
+    def victim():
+        try:
+            yield from site.perform(0, interaction, random.Random(seed))
+        except Interrupt:
+            landed.append(True)
+
+    proc = sim.spawn(victim(), name="victim")
+
+    def killer():
+        yield interrupt_at
+        if not proc.finished:
+            proc.interrupt("chaos")
+
+    sim.spawn(killer())
+    sim.run()
+    assert proc.finished
+    assert _no_dangling_locks(site), (
+        f"dangling locks after interrupting {interaction} "
+        f"at t={interrupt_at}")
+    return bool(landed)
+
+
+def test_interrupt_mid_purchase_releases_db_locks(php_profile):
+    landed = _run_with_interrupt(php_profile, WS_PHP_DB, "buy_confirm",
+                                 interrupt_at=0.004)
+    assert landed
+
+
+def test_interrupt_mid_purchase_releases_sync_locks(sync_profile):
+    landed = _run_with_interrupt(sync_profile, WS_SERVLET_DB_SYNC,
+                                 "buy_confirm", interrupt_at=0.006)
+    assert landed
+
+
+@settings(max_examples=25, deadline=None)
+@given(at=st.floats(min_value=1e-5, max_value=0.2),
+       interaction=st.sampled_from(
+           ["shopping_cart", "buy_confirm", "best_sellers",
+            "customer_registration", "order_inquiry"]))
+def test_interrupt_anywhere_never_leaks_locks(at, interaction):
+    """Property: whatever instant an interaction dies at, every database
+    table lock and container lock it held is released."""
+    profile = test_interrupt_anywhere_never_leaks_locks.profile
+    _run_with_interrupt(profile, WS_SERVLET_DB_SYNC, interaction, at)
+
+
+# hypothesis @given cannot take module fixtures; attach the profile once.
+def pytest_configure():  # pragma: no cover - import-time helper
+    pass
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _attach_profile(sync_profile):
+    test_interrupt_anywhere_never_leaks_locks.profile = sync_profile
+    yield
+
+
+def test_web_process_pool_exhaustion_queues_not_fails(php_profile):
+    """With a 2-process pool and 10 concurrent requests, everything
+    still completes -- requests queue at the accept point."""
+    from repro.web.server import WebServerConfig
+    sim = Simulator()
+    site = SimulatedSite(sim, WS_PHP_DB, php_profile,
+                         web_config=WebServerConfig(max_processes=2))
+    procs = [sim.spawn(site.perform(i, "product_detail", random.Random(i)))
+             for i in range(10)]
+    sim.run()
+    assert all(p.finished for p in procs)
+    assert site.interactions_done == 10
+    assert site.web_processes.in_use == 0
+
+
+def test_connection_pool_exhaustion_raises():
+    from repro.db import Database
+    from repro.db.driver import ConnectionPool, NativeDriver
+    pool = ConnectionPool(NativeDriver(Database()), size=2)
+    a = pool.acquire()
+    b = pool.acquire()
+    with pytest.raises(RuntimeError):
+        pool.acquire()
+    pool.release(a)
+    c = pool.acquire()       # freed slot is reusable
+    assert c is a            # and the connection object is recycled
+
+
+def test_pool_release_clears_stale_locks():
+    from repro.db import Column, ColumnType, Database, TableSchema
+    from repro.db.driver import ConnectionPool, NativeDriver
+    db = Database()
+    db.create_table(TableSchema(
+        name="x", columns=[Column("id", ColumnType.INT, nullable=False)],
+        primary_key="id", auto_increment=True))
+    pool = ConnectionPool(NativeDriver(db), size=1)
+    conn = pool.acquire()
+    conn.execute("LOCK TABLES x WRITE")
+    pool.release(conn)
+    fresh = pool.acquire()
+    # A recycled connection must not inherit LOCK TABLES state.
+    assert fresh.session.locks == {}
+    fresh.execute("SELECT COUNT(*) FROM x")     # would raise if locked
+
+
+def test_unknown_interaction_fails_loudly(php_profile):
+    sim = Simulator()
+    site = SimulatedSite(sim, WS_PHP_DB, php_profile)
+    with pytest.raises(KeyError):
+        sim.spawn(site.perform(0, "ghost_page", random.Random(1)))
+        sim.run()

@@ -1,0 +1,149 @@
+"""Tests for CPU, disk, and machine models."""
+
+import pytest
+
+from repro.machine import Machine, MachineSpec, paper_machine_spec
+from repro.machine.cpu import Cpu
+from repro.sim import Simulator
+
+
+def test_cpu_executes_demand_in_virtual_time():
+    sim = Simulator()
+    cpu = Cpu(sim)
+
+    def job():
+        yield from cpu.execute(0.5)
+
+    sim.spawn(job())
+    sim.run()
+    assert sim.now == pytest.approx(0.5)
+    assert cpu.busy_time() == pytest.approx(0.5)
+
+
+def test_cpu_speed_scales_demand():
+    sim = Simulator()
+    cpu = Cpu(sim, speed=2.0)
+
+    def job():
+        yield from cpu.execute(1.0)
+
+    sim.spawn(job())
+    sim.run()
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_cpu_work_conserving_under_contention():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    ends = []
+
+    def job(i):
+        yield from cpu.execute(1.0)
+        ends.append((i, sim.now))
+
+    for i in range(3):
+        sim.spawn(job(i))
+    sim.run()
+    # Round-robin: equal jobs finish together near the 3-second mark, in
+    # arrival order, and the CPU never idles.
+    assert [i for i, __ in ends] == [0, 1, 2]
+    assert sim.now == pytest.approx(3.0)
+    assert all(end > 2.99 for __, end in ends)
+    assert cpu.busy_time() == pytest.approx(3.0)
+
+
+def test_cpu_short_job_not_starved_behind_long_job():
+    """Time-slicing: a 2 ms job behind a 1 s job finishes in
+    milliseconds, not after the long job."""
+    sim = Simulator()
+    cpu = Cpu(sim)
+    done = {}
+
+    def job(name, demand):
+        yield from cpu.execute(demand)
+        done[name] = sim.now
+
+    sim.spawn(job("long", 1.0))
+    sim.spawn(job("short", 0.002))
+    sim.run()
+    assert done["short"] < 0.01
+    assert done["long"] == pytest.approx(1.002)
+
+
+def test_cpu_busy_time_excludes_idle_gaps():
+    sim = Simulator()
+    cpu = Cpu(sim)
+
+    def job():
+        yield from cpu.execute(1.0)
+        yield 5.0  # idle gap
+        yield from cpu.execute(2.0)
+
+    sim.spawn(job())
+    sim.run()
+    assert sim.now == pytest.approx(8.0)
+    assert cpu.busy_time() == pytest.approx(3.0)
+
+
+def test_cpu_utilization_under_saturation():
+    """With more offered work than capacity, busy fraction reaches 1."""
+    sim = Simulator()
+    cpu = Cpu(sim)
+
+    def job():
+        yield from cpu.execute(0.1)
+
+    for _ in range(100):
+        sim.spawn(job())
+    sim.run()
+    assert sim.now == pytest.approx(10.0)
+    assert cpu.busy_time() / sim.now == pytest.approx(1.0)
+
+
+def test_cpu_rejects_bad_args():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Cpu(sim, speed=0)
+    cpu = Cpu(sim)
+    with pytest.raises(ValueError):
+        list(cpu.execute(-1))
+
+
+def test_disk_io_takes_access_plus_transfer_time():
+    sim = Simulator()
+    machine = Machine(sim, "db")
+
+    def job():
+        yield from machine.disk.io(35_000_00)  # 3.5 MB at 35 MB/s = 0.1 s
+
+    sim.spawn(job())
+    sim.run()
+    assert sim.now == pytest.approx(0.009 + 0.1)
+    assert machine.disk.transfers == 1
+    assert machine.disk.bytes_moved == 3_500_000
+
+
+def test_machine_memory_gauge():
+    sim = Simulator()
+    machine = Machine(sim, "web")
+    machine.allocate_memory(100)
+    machine.allocate_memory(50)
+    assert machine.memory_used_mb == 150
+    machine.free_memory(200)
+    assert machine.memory_used_mb == 0
+    with pytest.raises(ValueError):
+        machine.allocate_memory(-1)
+
+
+def test_paper_machine_spec_matches_testbed():
+    spec = paper_machine_spec()
+    assert spec.memory_mb == 768
+    assert spec.nic_bandwidth_bps == 100e6
+    assert spec.cpu_speed == 1.0
+
+
+def test_custom_machine_spec():
+    sim = Simulator()
+    spec = MachineSpec(cpu_speed=0.6)  # the 800 MHz client boxes
+    machine = Machine(sim, "client0", spec)
+    assert machine.cpu.speed == 0.6

@@ -1,0 +1,273 @@
+"""Tests for AppContext, the PHP module, and the servlet engine."""
+
+import pytest
+
+from repro.db import Column, ColumnType, Database, TableSchema
+from repro.middleware import LockingPolicy, PhpModule, ServletEngine
+from repro.middleware.context import AppContext, SyncLockRegistry
+from repro.web.html import Page
+from repro.web.http import HttpRequest
+
+
+def make_db():
+    db = Database()
+    db.create_table(TableSchema(
+        name="counters",
+        columns=[Column("id", ColumnType.INT, nullable=False),
+                 Column("value", ColumnType.INT)],
+        primary_key="id", auto_increment=True))
+    db.execute("INSERT INTO counters (value) VALUES (0)")
+    return db
+
+
+def bump_page(ctx):
+    """Shared interaction logic: read-modify-write under exclusion."""
+    with ctx.exclusive(["counters"]):
+        current = ctx.query(
+            "SELECT value FROM counters WHERE id = 1").scalar()
+        ctx.update("UPDATE counters SET value = ? WHERE id = 1",
+                   (current + 1,))
+    page = Page("Counter")
+    page.paragraph(f"value={current + 1}")
+    return ctx.respond(page)
+
+
+def read_page(ctx):
+    value = ctx.query("SELECT value FROM counters WHERE id = 1").scalar()
+    page = Page("Counter")
+    page.paragraph(f"value={value}")
+    return ctx.respond(page)
+
+
+# ---------------------------------------------------------------- PHP module
+
+def test_php_executes_script_and_traces_queries():
+    db = make_db()
+    php = PhpModule(db)
+    php.register("/PHP/bump.php", bump_page)
+    response, trace = php.handle(HttpRequest("/PHP/bump.php"))
+    assert response.ok()
+    assert "value=1" in response.body
+    # LOCK + SELECT + UPDATE + UNLOCK
+    kinds = [q.kind for q in trace.queries()]
+    assert kinds == ["lock", "select", "update", "unlock"]
+    assert trace.sync_spans() == 0
+
+
+def test_php_unknown_path_is_404():
+    php = PhpModule(make_db())
+    response, trace = php.handle(HttpRequest("/PHP/ghost.php"))
+    assert response.status == 404
+
+
+def test_php_duplicate_registration_rejected():
+    php = PhpModule(make_db())
+    php.register("/p", read_page)
+    with pytest.raises(ValueError):
+        php.register("/p", read_page)
+
+
+def test_php_requires_colocation_flag():
+    assert PhpModule.requires_colocation is True
+    assert ServletEngine.requires_colocation is False
+
+
+def test_php_response_embeds_images():
+    db = make_db()
+    php = PhpModule(db)
+    php.register("/p", read_page)
+    response, __ = php.handle(HttpRequest("/p"))
+    assert "/images/logo.gif" in response.embedded_images
+    assert response.body_bytes > 200
+
+
+# ------------------------------------------------------------- servlet engine
+
+def test_servlet_same_queries_as_php():
+    """The paper: PHP and non-sync servlets issue exactly the same SQL."""
+    db1, db2 = make_db(), make_db()
+    php = PhpModule(db1)
+    php.register("/bump", bump_page)
+    engine = ServletEngine(db2, sync_locking=False)
+    engine.register("/bump", bump_page)
+    __, php_trace = php.handle(HttpRequest("/bump"))
+    __, servlet_trace = engine.handle(HttpRequest("/bump"))
+    assert [q.sql for q in php_trace.queries()] == \
+        [q.sql for q in servlet_trace.queries()]
+
+
+def test_servlet_sync_drops_lock_statements():
+    """(sync) variants: same queries minus LOCK/UNLOCK TABLES."""
+    db1, db2 = make_db(), make_db()
+    plain = ServletEngine(db1, sync_locking=False)
+    plain.register("/bump", bump_page)
+    sync = ServletEngine(db2, sync_locking=True)
+    sync.register("/bump", bump_page)
+    __, plain_trace = plain.handle(HttpRequest("/bump"))
+    __, sync_trace = sync.handle(HttpRequest("/bump"))
+    assert plain_trace.lock_statement_count() == 2
+    assert sync_trace.lock_statement_count() == 0
+    assert sync_trace.sync_spans() == 1
+    # The data queries themselves are identical.
+    plain_sql = [q.sql for q in plain_trace.queries()
+                 if q.kind not in ("lock", "unlock")]
+    sync_sql = [q.sql for q in sync_trace.queries()]
+    assert plain_sql == sync_sql
+
+
+def test_servlet_sync_functional_equivalence():
+    """Both locking policies compute the same result."""
+    db1, db2 = make_db(), make_db()
+    plain = ServletEngine(db1, sync_locking=False)
+    plain.register("/bump", bump_page)
+    sync = ServletEngine(db2, sync_locking=True)
+    sync.register("/bump", bump_page)
+    for __ in range(5):
+        r1, __t1 = plain.handle(HttpRequest("/bump"))
+        r2, __t2 = sync.handle(HttpRequest("/bump"))
+        assert r1.body == r2.body
+
+
+def test_servlet_connection_pool_reuse():
+    db = make_db()
+    engine = ServletEngine(db, pool_size=2)
+    engine.register("/r", read_page)
+    for __ in range(10):
+        response, __t = engine.handle(HttpRequest("/r"))
+        assert response.ok()
+    assert engine.pool._outstanding == 0
+
+
+def test_servlet_class_api():
+    from repro.middleware.servlet import HttpServlet
+
+    class MyServlet(HttpServlet):
+        def service(self, ctx):
+            page = Page("S")
+            page.paragraph("hi")
+            return ctx.respond(page)
+
+    engine = ServletEngine(make_db())
+    engine.register("/s", MyServlet())
+    response, __ = engine.handle(HttpRequest("/s"))
+    assert "hi" in response.body
+
+
+# ------------------------------------------------------------------ AppContext
+
+def test_context_sync_policy_requires_registry():
+    db = make_db()
+    from repro.db.driver import NativeDriver
+    conn = NativeDriver(db).connect()
+    with pytest.raises(ValueError):
+        AppContext(HttpRequest("/x"), conn,
+                   policy=LockingPolicy.CONTAINER_SYNC)
+
+
+def test_sync_registry_validates_usage():
+    reg = SyncLockRegistry()
+    reg.acquire("items", "WRITE")
+    with pytest.raises(RuntimeError):
+        reg.acquire("items", "READ")
+    reg.release("items")
+    with pytest.raises(RuntimeError):
+        reg.release("items")
+    with pytest.raises(ValueError):
+        reg.acquire("items", "EXCLUSIVE")
+
+
+def test_exclusive_read_tables_mode():
+    db = make_db()
+    php = PhpModule(db)
+
+    def handler(ctx):
+        with ctx.exclusive(["counters"], read_tables=["counters"]):
+            pass  # write wins over read for the same table
+        page = Page("x")
+        return ctx.respond(page)
+
+    php.register("/x", handler)
+    __, trace = php.handle(HttpRequest("/x"))
+    lock_sql = trace.queries()[0].sql
+    assert lock_sql == "LOCK TABLES counters WRITE"
+
+
+def test_context_param_helpers():
+    db = make_db()
+    conn = __import__("repro.db.driver", fromlist=["NativeDriver"]) \
+        .NativeDriver(db).connect()
+    request = HttpRequest("/x", params={"a": "5", "b": "txt"})
+    ctx = AppContext(request, conn)
+    assert ctx.int_param("a") == 5
+    assert ctx.int_param("missing", 7) == 7
+    assert ctx.str_param("b") == "txt"
+    assert ctx.param("missing") is None
+
+
+def test_context_error_response():
+    db = make_db()
+    from repro.db.driver import NativeDriver
+    ctx = AppContext(HttpRequest("/x"), NativeDriver(db).connect())
+    response = ctx.error("bad input", status=422)
+    assert response.status == 422
+    assert not response.ok()
+
+
+# ------------------------------------------------------------ http sessions
+
+def test_servlet_engine_provides_http_sessions():
+    db = make_db()
+    engine = ServletEngine(db)
+    seen = []
+
+    def handler(ctx):
+        session = ctx.http_session
+        if session is not None:
+            visits = session.get("visits", 0) + 1
+            session.set("visits", visits)
+            seen.append(visits)
+        page = Page("S")
+        return ctx.respond(page)
+
+    engine.register("/s", handler)
+    for __ in range(3):
+        engine.handle(HttpRequest("/s", session_id="client-A"))
+    engine.handle(HttpRequest("/s", session_id="client-B"))
+    engine.handle(HttpRequest("/s"))          # no cookie -> no session
+    assert seen == [1, 2, 3, 1]
+    assert len(engine.sessions) == 2
+
+
+def test_http_session_expiry_and_invalidate():
+    from repro.middleware.servlet.sessions import SessionManager
+    clock = [0.0]
+    manager = SessionManager(timeout=10.0, clock=lambda: clock[0])
+    session = manager.get_session("sid")
+    session.set("k", 1)
+    clock[0] = 5.0
+    assert manager.get_session("sid").get("k") == 1
+    clock[0] = 20.0   # idle > timeout since last access at t=5
+    fresh = manager.get_session("sid")
+    assert fresh.get("k") is None            # expired, re-created
+    assert manager.expired == 1
+    fresh.invalidate()
+    with __import__("pytest").raises(RuntimeError):
+        fresh.get("k")
+    assert manager.get_session("sid", create=False) is None
+
+
+def test_session_manager_sweep():
+    from repro.middleware.servlet.sessions import SessionManager
+    clock = [0.0]
+    manager = SessionManager(timeout=10.0, clock=lambda: clock[0])
+    for i in range(5):
+        manager.get_session(f"s{i}")
+    clock[0] = 100.0
+    assert manager.sweep() == 5
+    assert len(manager) == 0
+
+
+def test_session_manager_rejects_bad_timeout():
+    from repro.middleware.servlet.sessions import SessionManager
+    with pytest.raises(ValueError):
+        SessionManager(timeout=0)

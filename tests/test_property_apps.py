@@ -1,0 +1,145 @@
+"""Property-based tests over the applications: random interaction
+sequences must preserve the denormalized invariants the paper's schema
+optimizations rely on."""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.apps.auction import AuctionApp, build_auction_database
+from repro.apps.auction.mixes import AuctionState
+from repro.apps.auction.mixes import make_request as auction_request
+from repro.apps.bboard import BulletinBoardApp, build_bboard_database
+from repro.apps.bboard.mixes import BboardState
+from repro.apps.bboard.mixes import make_request as bboard_request
+from repro.apps.bookstore import BookstoreApp, build_bookstore_database
+from repro.apps.bookstore.mixes import BookstoreState
+from repro.apps.bookstore.mixes import make_request as bookstore_request
+
+AUCTION_NAMES = ["view_item", "store_bid", "store_buy_now",
+                 "register_user", "register_item", "store_comment",
+                 "search_items_in_category", "about_me"]
+
+BOOKSTORE_NAMES = ["shopping_cart", "buy_confirm", "home",
+                   "customer_registration", "buy_request",
+                   "product_detail", "admin_confirm"]
+
+BBOARD_NAMES = ["post_comment", "submit_story", "moderate_comment",
+                "view_story", "register_user", "home"]
+
+
+@settings(max_examples=5, deadline=None)
+@given(seq=st.lists(st.sampled_from(AUCTION_NAMES), min_size=5,
+                    max_size=18),
+       seed=st.integers(0, 10**6))
+def test_auction_denormalized_counters_stay_consistent(seq, seed):
+    """items.nb_of_bids and items.max_bid always agree with the bids
+    table, whatever interaction order runs."""
+    app = AuctionApp(build_auction_database(scale=0.0003, tiny=True))
+    php = app.deploy_php()
+    rng = random.Random(seed)
+    state = AuctionState.from_database(app.database, rng)
+    for name in seq:
+        response, __ = php.handle(auction_request(name, rng, state))
+        assert response.status in (200, 401, 404, 409), name
+    db = app.database
+    for item_id, nb, max_bid in db.execute(
+            "SELECT id, nb_of_bids, max_bid FROM items").rows:
+        count = db.execute(
+            "SELECT COUNT(*) FROM bids WHERE item_id = ?",
+            (item_id,)).scalar()
+        top = db.execute(
+            "SELECT MAX(bid) FROM bids WHERE item_id = ?",
+            (item_id,)).scalar()
+        assert nb == count, f"item {item_id} nb_of_bids"
+        if count:
+            assert max_bid == pytest.approx(top), f"item {item_id} max_bid"
+    # The ids counters never fall behind the actual keys.
+    for table in ("bids", "users", "items"):
+        counter = db.execute("SELECT value FROM ids WHERE name = ?",
+                             (table,)).scalar()
+        top_id = db.execute(f"SELECT MAX(id) FROM {table}").scalar() or 0
+        assert counter >= top_id
+
+
+@settings(max_examples=4, deadline=None)
+@given(seq=st.lists(st.sampled_from(BOOKSTORE_NAMES), min_size=5,
+                    max_size=25),
+       seed=st.integers(0, 10**6))
+def test_bookstore_orders_and_lines_stay_consistent(seq, seed):
+    """Every order_line points at an existing order and item; every
+    non-cart order has payment info; stock never goes negative."""
+    app = BookstoreApp(build_bookstore_database(scale=0.002, tiny=True))
+    php = app.deploy_php()
+    rng = random.Random(seed)
+    state = BookstoreState.from_database(app.database, rng)
+    for name in seq:
+        response, __ = php.handle(bookstore_request(name, rng, state))
+        assert response.status in (200, 404, 409), name
+    db = app.database
+    dangling = db.execute(
+        "SELECT COUNT(*) FROM order_line ol LEFT JOIN orders o "
+        "ON o.id = ol.o_id WHERE o.id IS NULL").scalar()
+    assert dangling == 0
+    negative = db.execute(
+        "SELECT COUNT(*) FROM items WHERE stock < 0").scalar()
+    assert negative == 0
+    # Orders that completed purchase carry exactly one payment record.
+    for (order_id,) in db.execute(
+            "SELECT id FROM orders WHERE status = 'pending'").rows:
+        payments = db.execute(
+            "SELECT COUNT(*) FROM credit_info WHERE o_id = ?",
+            (order_id,)).scalar()
+        assert payments == 1, f"order {order_id}"
+
+
+@settings(max_examples=4, deadline=None)
+@given(seq=st.lists(st.sampled_from(BBOARD_NAMES), min_size=5,
+                    max_size=25),
+       seed=st.integers(0, 10**6))
+def test_bboard_comment_counters_stay_consistent(seq, seed):
+    """stories.nb_comments always equals the comments actually stored."""
+    app = BulletinBoardApp(build_bboard_database(scale=0.0002, tiny=True))
+    php = app.deploy_php()
+    rng = random.Random(seed)
+    state = BboardState.from_database(app.database, rng)
+    for name in seq:
+        response, __ = php.handle(bboard_request(name, rng, state))
+        assert response.status in (200, 401, 403, 404, 409), name
+    db = app.database
+    for story_id, nb in db.execute(
+            "SELECT id, nb_comments FROM stories").rows:
+        count = db.execute(
+            "SELECT COUNT(*) FROM comments WHERE story_id = ?",
+            (story_id,)).scalar()
+        assert nb == count, f"story {story_id}"
+
+
+@settings(max_examples=3, deadline=None)
+@given(seq=st.lists(st.sampled_from(AUCTION_NAMES), min_size=4,
+                    max_size=15),
+       seed=st.integers(0, 10**6))
+def test_php_servlet_sync_state_equivalence(seq, seed):
+    """Running the same interaction sequence through PHP and the sync
+    servlet engine leaves two databases in identical observable state --
+    the locking rewrite must not change semantics."""
+    app1 = AuctionApp(build_auction_database(scale=0.0003, tiny=True))
+    app2 = AuctionApp(build_auction_database(scale=0.0003, tiny=True))
+    php = app1.deploy_php()
+    sync = app2.deploy_servlet(sync_locking=True)
+    rng1, rng2 = random.Random(seed), random.Random(seed)
+    s1 = AuctionState.from_database(app1.database, random.Random(seed + 1))
+    s2 = AuctionState.from_database(app2.database, random.Random(seed + 1))
+    for name in seq:
+        r1, __ = php.handle(auction_request(name, rng1, s1))
+        r2, __ = sync.handle(auction_request(name, rng2, s2))
+        assert r1.status == r2.status, name
+    for probe in ("SELECT COUNT(*) FROM bids",
+                  "SELECT SUM(nb_of_bids) FROM items",
+                  "SELECT COUNT(*) FROM users",
+                  "SELECT MAX(value) FROM ids",
+                  "SELECT COUNT(*) FROM comments"):
+        assert app1.database.execute(probe).scalar() == \
+            app2.database.execute(probe).scalar(), probe

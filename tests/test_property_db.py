@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the database engine."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.db import Column, ColumnType, Database, IndexDef, TableSchema
+
+
+def fresh_db(kind="sorted"):
+    db = Database()
+    db.create_table(TableSchema(
+        name="t",
+        columns=[Column("id", ColumnType.INT, nullable=False),
+                 Column("k", ColumnType.INT),
+                 Column("v", ColumnType.VARCHAR)],
+        primary_key="id", auto_increment=True,
+        indexes=[IndexDef("idx_k", ("k",), kind=kind)]))
+    return db
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(min_value=-50, max_value=50),
+              st.text(alphabet="abcxyz", max_size=6)),
+    min_size=0, max_size=60)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy, probe=st.integers(min_value=-50, max_value=50))
+def test_index_lookup_equals_scan(rows, probe):
+    """An indexed equality probe returns exactly what a scan would."""
+    db = fresh_db()
+    for k, v in rows:
+        db.execute("INSERT INTO t (k, v) VALUES (?, ?)", (k, v))
+    indexed = db.execute("SELECT id FROM t WHERE k = ?", (probe,))
+    assert not indexed.stats.rows_examined_scan
+    expected = sorted(i + 1 for i, (k, __) in enumerate(rows) if k == probe)
+    assert sorted(r[0] for r in indexed.rows) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy,
+       low=st.integers(min_value=-50, max_value=50),
+       high=st.integers(min_value=-50, max_value=50))
+def test_range_query_matches_filter(rows, low, high):
+    db = fresh_db()
+    for k, v in rows:
+        db.execute("INSERT INTO t (k, v) VALUES (?, ?)", (k, v))
+    result = db.execute("SELECT k FROM t WHERE k >= ? AND k <= ?",
+                        (low, high))
+    expected = sorted(k for k, __ in rows if low <= k <= high)
+    assert sorted(r[0] for r in result.rows) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=rows_strategy)
+def test_order_by_limit_prefix_of_full_sort(rows):
+    """LIMIT n under ORDER BY returns the first n of the full ordering."""
+    db = fresh_db()
+    for k, v in rows:
+        db.execute("INSERT INTO t (k, v) VALUES (?, ?)", (k, v))
+    full = db.execute("SELECT k, id FROM t ORDER BY k, id")
+    limited = db.execute("SELECT k, id FROM t ORDER BY k, id LIMIT 7")
+    assert limited.rows == full.rows[:7]
+    keys = [r[0] for r in full.rows]
+    assert keys == sorted(keys)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=rows_strategy)
+def test_aggregates_match_python(rows):
+    db = fresh_db()
+    for k, v in rows:
+        db.execute("INSERT INTO t (k, v) VALUES (?, ?)", (k, v))
+    result = db.execute("SELECT COUNT(*), SUM(k), MIN(k), MAX(k) FROM t")
+    count, total, low, high = result.rows[0]
+    keys = [k for k, __ in rows]
+    assert count == len(keys)
+    if keys:
+        assert total == sum(keys)
+        assert low == min(keys)
+        assert high == max(keys)
+    else:
+        assert total is None and low is None and high is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=rows_strategy, threshold=st.integers(-50, 50))
+def test_delete_then_count_consistent(rows, threshold):
+    db = fresh_db()
+    for k, v in rows:
+        db.execute("INSERT INTO t (k, v) VALUES (?, ?)", (k, v))
+    deleted = db.execute("DELETE FROM t WHERE k < ?", (threshold,))
+    remaining = db.execute("SELECT COUNT(*) FROM t").scalar()
+    expected_deleted = sum(1 for k, __ in rows if k < threshold)
+    assert deleted.rowcount == expected_deleted
+    assert remaining == len(rows) - expected_deleted
+    # Index agrees with the heap after deletions.
+    still = db.execute("SELECT COUNT(*) FROM t WHERE k >= ?",
+                       (threshold,)).scalar()
+    assert still == remaining
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=rows_strategy, delta=st.integers(-5, 5))
+def test_update_preserves_row_count_and_index(rows, delta):
+    db = fresh_db()
+    for k, v in rows:
+        db.execute("INSERT INTO t (k, v) VALUES (?, ?)", (k, v))
+    db.execute("UPDATE t SET k = k + ?", (delta,))
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == len(rows)
+    for k, __ in rows[:5]:
+        hits = db.execute("SELECT COUNT(*) FROM t WHERE k = ?",
+                          (k + delta,)).scalar()
+        expected = sum(1 for kk, __v in rows if kk == k)
+        assert hits >= 1 if expected else True
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_hash_and_sorted_index_agree(rows):
+    """The same equality probe gives identical answers on both index
+    kinds."""
+    sorted_db = fresh_db("sorted")
+    hash_db = fresh_db("hash")
+    for k, v in rows:
+        sorted_db.execute("INSERT INTO t (k, v) VALUES (?, ?)", (k, v))
+        hash_db.execute("INSERT INTO t (k, v) VALUES (?, ?)", (k, v))
+    for probe in {k for k, __ in rows[:10]}:
+        a = sorted_db.execute("SELECT id FROM t WHERE k = ?", (probe,))
+        b = hash_db.execute("SELECT id FROM t WHERE k = ?", (probe,))
+        assert sorted(a.rows) == sorted(b.rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy, limit=st.integers(1, 10),
+       offset=st.integers(0, 10))
+def test_limit_offset_window(rows, limit, offset):
+    db = fresh_db()
+    for k, v in rows:
+        db.execute("INSERT INTO t (k, v) VALUES (?, ?)", (k, v))
+    full = db.execute("SELECT id FROM t ORDER BY id")
+    window = db.execute(
+        f"SELECT id FROM t ORDER BY id LIMIT {limit} OFFSET {offset}")
+    assert window.rows == full.rows[offset:offset + limit]
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_group_by_totals_match(rows):
+    db = fresh_db()
+    for k, v in rows:
+        db.execute("INSERT INTO t (k, v) VALUES (?, ?)", (k, v))
+    grouped = db.execute("SELECT k, COUNT(*) FROM t GROUP BY k")
+    from collections import Counter
+    expected = Counter(k for k, __ in rows)
+    assert {row[0]: row[1] for row in grouped.rows} == dict(expected)
+    assert sum(row[1] for row in grouped.rows) == len(rows)

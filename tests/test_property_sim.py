@@ -1,0 +1,110 @@
+"""Property-based tests for the simulation kernel and lock primitives."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.machine.cpu import Cpu
+from repro.sim import RWLock, Resource, Simulator
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                       min_size=1, max_size=30))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(demands=st.lists(st.floats(min_value=0.0001, max_value=0.5),
+                        min_size=1, max_size=25),
+       capacity=st.integers(1, 4))
+def test_resource_conservation(demands, capacity):
+    """A capacity-k resource never exceeds k holders, and all jobs
+    complete."""
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    max_seen = [0]
+    done = [0]
+
+    def job(demand):
+        yield res.acquire()
+        max_seen[0] = max(max_seen[0], res.in_use)
+        assert res.in_use <= capacity
+        yield demand
+        res.release()
+        done[0] += 1
+
+    for demand in demands:
+        sim.spawn(job(demand))
+    sim.run()
+    assert done[0] == len(demands)
+    assert max_seen[0] <= capacity
+    assert res.in_use == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(demands=st.lists(st.floats(min_value=0.0001, max_value=0.1),
+                        min_size=1, max_size=30))
+def test_cpu_busy_time_equals_total_demand(demands):
+    """Work conservation: busy time == sum of demands when saturated."""
+    sim = Simulator()
+    cpu = Cpu(sim)
+
+    def job(demand):
+        yield from cpu.execute(demand)
+
+    for demand in demands:
+        sim.spawn(job(demand))
+    sim.run()
+    total = sum(demands)
+    assert cpu.busy_time() == abs(cpu.busy_time())
+    assert abs(cpu.busy_time() - total) < 1e-6
+    assert abs(sim.now - total) < 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from(["r", "w"]),
+                              st.floats(min_value=0.001, max_value=0.1)),
+                    min_size=1, max_size=25),
+       priority=st.booleans())
+def test_rwlock_mutual_exclusion_invariant(ops, priority):
+    """Never a writer concurrent with anyone; all acquirers finish."""
+    sim = Simulator()
+    lock = RWLock(sim, write_priority=priority)
+    state = {"readers": 0, "writers": 0}
+    violations = []
+    finished = [0]
+
+    def reader(hold):
+        yield lock.acquire_read()
+        state["readers"] += 1
+        if state["writers"]:
+            violations.append("reader with writer")
+        yield hold
+        state["readers"] -= 1
+        lock.release_read()
+        finished[0] += 1
+
+    def writer(hold):
+        yield lock.acquire_write()
+        state["writers"] += 1
+        if state["writers"] > 1 or state["readers"]:
+            violations.append("writer overlap")
+        yield hold
+        state["writers"] -= 1
+        lock.release_write()
+        finished[0] += 1
+
+    for kind, hold in ops:
+        sim.spawn(reader(hold) if kind == "r" else writer(hold))
+    sim.run()
+    assert not violations
+    assert finished[0] == len(ops)
+    assert not lock.writer and lock.readers == 0

@@ -1,0 +1,307 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Delay, Event, Interrupt, Simulator
+from repro.sim.kernel import SimulationError
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_callback_runs_at_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_callbacks_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_callbacks_run_fifo():
+    sim = Simulator()
+    order = []
+    for i in range(5):
+        sim.schedule(1.0, lambda i=i: order.append(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_yield_delay():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(sim.now)
+        yield 2.5
+        trace.append(sim.now)
+        yield Delay(1.5)
+        trace.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert trace == [0.0, 2.5, 4.0]
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield 1.0
+        return 99
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.finished
+    assert p.result == 99
+
+
+def test_process_waits_on_event_and_gets_value():
+    sim = Simulator()
+    got = []
+    ev = sim.event()
+
+    def waiter():
+        value = yield ev
+        got.append((sim.now, value))
+
+    def firer():
+        yield 3.0
+        ev.trigger("payload")
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert got == [(3.0, "payload")]
+
+
+def test_waiting_on_already_triggered_event_resumes_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.trigger(7)
+    got = []
+
+    def proc():
+        value = yield ev
+        got.append(value)
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == [7]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.trigger()
+    with pytest.raises(SimulationError):
+        ev.trigger()
+
+
+def test_process_join():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield 5.0
+        return "done"
+
+    def parent():
+        result = yield sim.spawn(child())
+        log.append((sim.now, result))
+
+    sim.spawn(parent())
+    sim.run()
+    assert log == [(5.0, "done")]
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield 1.0
+        return 42
+
+    child_proc = sim.spawn(child())
+
+    def parent():
+        yield 10.0
+        result = yield child_proc
+        log.append((sim.now, result))
+
+    sim.spawn(parent())
+    sim.run()
+    assert log == [(10.0, 42)]
+
+
+def test_interrupt_while_sleeping():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield 100.0
+        except Interrupt as exc:
+            log.append((sim.now, exc.cause))
+
+    victim = sim.spawn(sleeper())
+
+    def killer():
+        yield 2.0
+        victim.interrupt("wake up")
+
+    sim.spawn(killer())
+    sim.run()
+    assert log == [(2.0, "wake up")]
+
+
+def test_interrupt_while_on_event():
+    sim = Simulator()
+    ev = sim.event()
+    log = []
+
+    def waiter():
+        try:
+            yield ev
+        except Interrupt:
+            log.append(sim.now)
+
+    victim = sim.spawn(waiter())
+
+    def killer():
+        yield 1.0
+        victim.interrupt()
+
+    sim.spawn(killer())
+    sim.run()
+    assert log == [1.0]
+    # The interrupted process must not be resumed again if the event fires.
+    ev.trigger()
+    sim.run()
+    assert log == [1.0]
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def proc():
+        yield 1.0
+
+    p = sim.spawn(proc())
+    sim.run()
+    p.interrupt()  # must not raise
+
+
+def test_run_until_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, lambda: fired.append(1))
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [1]
+
+
+def test_run_until_advances_time_even_with_empty_heap():
+    sim = Simulator()
+    sim.run(until=30.0)
+    assert sim.now == 30.0
+
+
+def test_spawn_rejects_non_generator():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.spawn(lambda: None)
+
+
+def test_yield_bad_value_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "not a waitable"
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_all_detects_deadlock():
+    sim = Simulator()
+    ev = sim.event()
+
+    def stuck():
+        yield ev
+
+    p = sim.spawn(stuck())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_all([p])
+
+
+def test_many_processes_fifo_and_flat_stack():
+    sim = Simulator()
+    ev = sim.event()
+    order = []
+
+    def waiter(i):
+        yield ev
+        order.append(i)
+
+    for i in range(5000):
+        sim.spawn(waiter(i))
+
+    def firer():
+        yield 1.0
+        ev.trigger()
+
+    sim.spawn(firer())
+    sim.run()
+    assert order == list(range(5000))
+
+
+def test_nested_spawn_cascade():
+    sim = Simulator()
+    depth_reached = []
+
+    def recurse(depth):
+        if depth == 0:
+            depth_reached.append(sim.now)
+            return
+        yield 1.0
+        yield sim.spawn(recurse(depth - 1))
+
+    sim.spawn(recurse(50))
+    sim.run()
+    assert depth_reached == [50.0]
+
+
+def test_timeout_event_fires():
+    sim = Simulator()
+    ev = sim.timeout_event(4.0)
+    seen = []
+
+    def proc():
+        yield ev
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [4.0]
