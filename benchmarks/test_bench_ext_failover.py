@@ -1,0 +1,71 @@
+"""Extension bench: availability under tier crash/restart.
+
+The steady-state figures say which placement is fastest; this bench
+asserts what each placement *costs in blast radius* when a machine
+dies.  A database crash hurts every configuration (each has a db
+machine) but goodput must climb back to >= 90% of its pre-fault level
+after the restart in every non-EJB configuration.  A dedicated-servlet
+crash is *contained* in the configurations that have no such machine
+(PHP and the co-located servlets keep serving), while the separated
+configurations collapse for the duration.
+"""
+
+from repro.experiments.ext_failover import run_failover
+
+EJB_CONFIG = "Ws-Servlet-EJB-DB"
+# Configurations that deploy a dedicated servlet machine.
+SEPARATED = {"Ws-Servlet-DB", "Ws-Servlet-DB(sync)", "Ws-Servlet-EJB-DB"}
+
+
+def run_db_failover(state):
+    if "failover_db" not in state:
+        state["failover_db"] = run_failover(tier="db", scale="tiny")
+    return state["failover_db"]
+
+
+def run_servlet_failover(state):
+    if "failover_servlet" not in state:
+        state["failover_servlet"] = run_failover(tier="servlet",
+                                                 scale="tiny")
+    return state["failover_servlet"]
+
+
+def test_bench_ext_failover_db_crash(benchmark, bench_state):
+    report = benchmark.pedantic(run_db_failover, args=(bench_state,),
+                                rounds=1, iterations=1)
+    print()
+    print(report.render())
+    assert len(report.summaries) == 6
+    for s in report.summaries:
+        # Every configuration has a database machine: nobody is spared,
+        # and the outage is clearly visible in the goodput dip and in
+        # the error breakdown.
+        assert not s.contained
+        assert s.during_over_pre < 0.5
+        assert s.timeouts + s.aborts + s.rejections > 0
+        assert s.retries > 0
+    for s in report.summaries:
+        if s.configuration == EJB_CONFIG:
+            continue
+        # After the restart, every non-EJB configuration climbs back to
+        # >= 90% of its pre-fault goodput within the run.
+        assert s.recovery_time_s is not None
+        assert s.post_over_pre >= 0.9
+
+
+def test_bench_ext_failover_servlet_crash_containment(benchmark,
+                                                      bench_state):
+    report = benchmark.pedantic(run_servlet_failover, args=(bench_state,),
+                                rounds=1, iterations=1)
+    print()
+    print(report.render())
+    for s in report.summaries:
+        if s.configuration in SEPARATED:
+            # The dedicated servlet machine dies under them.
+            assert not s.contained
+            assert s.during_over_pre < 0.5
+        else:
+            # No such machine deployed: the fault cannot touch them.
+            assert s.contained
+            assert s.during_over_pre > 0.8
+            assert s.timeouts + s.aborts + s.rejections == 0

@@ -6,6 +6,7 @@ figures              list the reproducible figures
 run FIG [--full]     regenerate one figure (e.g. ``run fig05``)
 calibrate            print analytic saturation points vs paper targets
 bboard [--full]      run the bulletin-board extension experiment
+faults [...]         crash/restart one tier mid-run, report availability
 version              print the package version
 """
 
@@ -47,6 +48,15 @@ def _cmd_bboard(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.experiments.ext_failover import render
+    mix_name = args.mix or {"bookstore": "shopping", "auction": "bidding",
+                            "bboard": "submission"}[args.app]
+    print(render(tier=args.tier, scale=args.scale, app_name=args.app,
+                 mix_name=mix_name, seed=args.seed))
+    return 0
+
+
 def _cmd_version(__args) -> int:
     import repro
     print(repro.__version__)
@@ -75,6 +85,21 @@ def build_parser() -> argparse.ArgumentParser:
                             help="bulletin-board extension experiment")
     bboard.add_argument("--full", action="store_true")
     bboard.set_defaults(func=_cmd_bboard)
+
+    faults = sub.add_parser(
+        "faults", help="failover experiment: crash and restart one tier "
+                       "mid-run for all six configurations")
+    faults.add_argument("--tier", default="db",
+                        choices=("web", "servlet", "ejb", "db"),
+                        help="tier to crash (default: db)")
+    faults.add_argument("--scale", default="quick",
+                        choices=("tiny", "quick", "full"))
+    faults.add_argument("--app", default="bookstore",
+                        choices=("bookstore", "auction", "bboard"))
+    faults.add_argument("--mix", default=None,
+                        help="workload mix (default: app's headline mix)")
+    faults.add_argument("--seed", type=int, default=42)
+    faults.set_defaults(func=_cmd_faults)
 
     sub.add_parser("version", help="print version") \
         .set_defaults(func=_cmd_version)

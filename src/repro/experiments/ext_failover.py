@@ -1,0 +1,166 @@
+"""Extension experiment: availability under tier crash-and-restart.
+
+The paper compares the six configurations only in steady state; this
+experiment asks the production question the placement choice also
+decides: *what happens when a machine dies?*  For every configuration it
+runs a closed-loop population with client-side deadlines/retries and
+admission control, kills one tier mid-measurement, restarts it, and
+reports per configuration:
+
+* goodput (successful interactions/minute) before, during, and after
+  the outage,
+* the error-rate breakdown -- deadline timeouts, mid-flight aborts,
+  fast rejections,
+* the time from restart until goodput is back to 90% of its pre-fault
+  level,
+* whether the fault was *contained*: crashing the dedicated servlet
+  machine cannot touch ``WsPhp-DB`` or the co-located servlet
+  configurations, because no such machine exists there -- tier
+  separation trades peak throughput for a larger failure blast radius.
+
+Run:  python -m repro.experiments.ext_failover [--tier db|servlet|web|ejb]
+                                               [--scale tiny|quick|full]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.experiments.common import get_app, get_profiles
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import TIERS, FaultPlan
+from repro.metrics.availability import (
+    AvailabilitySampler,
+    FailoverReport,
+    FailoverSummary,
+    summarize_failover,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+from repro.topology.configs import ALL_CONFIGURATIONS
+from repro.topology.simulation import SimulatedSite
+from repro.web.server import WebServerConfig
+from repro.workload.client import ClientPopulation, RetryPolicy
+from repro.workload.markov import choose_interaction
+
+
+@dataclass(frozen=True)
+class FailoverScale:
+    """Timeline and load for one failover run (virtual seconds)."""
+
+    clients: int          # non-EJB configurations
+    ejb_clients: int      # the EJB configuration runs at lower load
+    ramp_up: float
+    pre: float            # steady measurement before the crash
+    outage: float         # how long the tier stays down
+    post: float           # measurement after the restart
+    window: float         # availability sampling window
+
+
+SCALES = {
+    "tiny": FailoverScale(clients=60, ejb_clients=20, ramp_up=80.0,
+                          pre=80.0, outage=40.0, post=160.0, window=10.0),
+    "quick": FailoverScale(clients=100, ejb_clients=30, ramp_up=120.0,
+                           pre=120.0, outage=60.0, post=240.0, window=10.0),
+    "full": FailoverScale(clients=200, ejb_clients=60, ramp_up=300.0,
+                          pre=240.0, outage=120.0, post=480.0, window=15.0),
+}
+
+# The resilience knobs the availability runs use (the steady-state
+# figures keep running without any of this).  The 20 s deadline tracks
+# TPC-W's loosest WIRT limits: tight enough to cut off a hung tier,
+# loose enough that the bookstore's natural lock-contention tail (and
+# the EJB flavor's slow pages) are not killed pre-fault.
+RETRY_POLICY = RetryPolicy(deadline=20.0, max_retries=3, backoff_base=0.5,
+                           backoff_cap=10.0, retry_budget=50)
+WEB_CONFIG = WebServerConfig(accept_queue_limit=256)
+
+
+def run_failover_point(config, profile, mix, ssl_interactions,
+                       tier: str, scale: FailoverScale,
+                       seed: int = 42) -> FailoverSummary:
+    """One configuration through one crash/restart cycle."""
+    sim = Simulator()
+    site = SimulatedSite(sim, config, profile,
+                         ssl_interactions=ssl_interactions,
+                         web_config=WEB_CONFIG)
+    contained = tier not in site.machines
+    clients = scale.ejb_clients if config.flavor == "ejb" else scale.clients
+    population = ClientPopulation(
+        sim, clients, mix, site, RngStreams(seed), choose_interaction,
+        retry=RETRY_POLICY)
+    fault_start = scale.ramp_up + scale.pre
+    fault_end = fault_start + scale.outage
+    plan = FaultPlan.single_crash(tier, at=fault_start,
+                                  duration=scale.outage)
+    FaultInjector(sim, site, plan).start()
+    population.start()
+
+    sim.run(until=scale.ramp_up)
+    population.begin_measurement()
+    sampler = AvailabilitySampler(sim, population, interval=scale.window)
+    sampler.start()
+    sim.run(until=fault_end + scale.post)
+    stats = population.end_measurement()
+
+    return summarize_failover(config.name, tier, sampler.windows,
+                              fault_start, fault_end, stats,
+                              contained=contained)
+
+
+def run_failover(tier: str = "db", scale: str = "tiny",
+                 app_name: str = "bookstore", mix_name: str = "shopping",
+                 seed: int = 42,
+                 configurations: Optional[Tuple[str, ...]] = None) \
+        -> FailoverReport:
+    """The full experiment: all six configurations through one cycle."""
+    if tier not in TIERS:
+        raise KeyError(f"unknown tier {tier!r}; have {TIERS}")
+    timeline = SCALES[scale]
+    app = get_app(app_name)
+    profiles = get_profiles(app_name)
+    mix = app.mix(mix_name)
+    report = FailoverReport(
+        title=f"Availability under {tier} crash/restart "
+              f"({app_name}/{mix_name}, scale={scale})",
+        tier=tier)
+    todo = configurations or tuple(c.name for c in ALL_CONFIGURATIONS)
+    for config in ALL_CONFIGURATIONS:
+        if config.name not in todo:
+            continue
+        report.summaries.append(run_failover_point(
+            config, profiles[config.profile_flavor], mix,
+            app.SSL_INTERACTIONS, tier, timeline, seed=seed))
+    return report
+
+
+def render(tier: str = "db", scale: str = "tiny", **kwargs) -> str:
+    return run_failover(tier=tier, scale=scale, **kwargs).render()
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Failover experiment: crash and restart one tier "
+                    "mid-run for all six configurations")
+    parser.add_argument("--tier", default="db", choices=TIERS,
+                        help="which tier to crash (default: db)")
+    parser.add_argument("--scale", default="quick", choices=sorted(SCALES),
+                        help="load level and timeline (default: quick)")
+    parser.add_argument("--app", default="bookstore",
+                        choices=("bookstore", "auction", "bboard"))
+    parser.add_argument("--mix", default=None,
+                        help="workload mix (default: app's headline mix)")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    mix_name = args.mix or {"bookstore": "shopping", "auction": "bidding",
+                            "bboard": "submission"}[args.app]
+    print(render(tier=args.tier, scale=args.scale, app_name=args.app,
+                 mix_name=mix_name, seed=args.seed))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

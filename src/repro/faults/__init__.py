@@ -1,0 +1,29 @@
+"""Fault injection and resilience: crash/restart schedules, transient
+database-connection failures, LAN degradation -- plus the request-failure
+exceptions the client emulator's timeout/retry/backoff machinery handles.
+
+The layer is strictly opt-in: with no plan attached and no retry policy,
+the simulator's happy path is byte-for-byte the steady-state benchmark.
+"""
+
+from repro.faults.errors import (
+    AdmissionReject,
+    RequestError,
+    TierDown,
+    TransientDbError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import EMPTY_PLAN, KINDS, TIERS, FaultEvent, FaultPlan
+
+__all__ = [
+    "AdmissionReject",
+    "RequestError",
+    "TierDown",
+    "TransientDbError",
+    "FaultInjector",
+    "FaultEvent",
+    "FaultPlan",
+    "EMPTY_PLAN",
+    "TIERS",
+    "KINDS",
+]

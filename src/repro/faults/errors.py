@@ -1,0 +1,33 @@
+"""Request-failure exceptions the resilience layer raises and clients retry.
+
+These are *simulated* outcomes, not kernel errors: a request that hits a
+crashed tier, a saturated accept queue, or a transient database
+connection failure ends with one of these, the holding process releases
+everything it acquired (the ``finally`` blocks in the replay path), and
+the emulated browser decides whether to back off and retry.
+"""
+
+from __future__ import annotations
+
+
+class RequestError(Exception):
+    """Base class for failures of one simulated interaction attempt."""
+
+
+class TierDown(RequestError):
+    """The request reached a tier whose machine is crashed: the client
+    sees a fast connection-refused / 5xx error, not a hang."""
+
+    def __init__(self, machine: str):
+        super().__init__(f"machine {machine!r} is down")
+        self.machine = machine
+
+
+class TransientDbError(RequestError):
+    """A database connection could not be established for this query
+    (transient: the database machine itself is up)."""
+
+
+class AdmissionReject(RequestError):
+    """Load shedding: the web server's accept queue is past its bound,
+    the request got a fast 503 instead of queueing unboundedly."""

@@ -1,0 +1,89 @@
+"""Executes a :class:`~repro.faults.plan.FaultPlan` against a live site.
+
+One simulator process per fault event.  A ``crash`` marks the tier's
+machine down (new requests fail fast at that tier), then interrupts every
+in-flight interaction so the existing cancellation-safe acquire paths
+release table locks, sync locks, CPU slots and Apache processes; after
+``duration`` seconds the tier is marked up again and backed-off clients
+find it on their next retry.
+
+Crashing a tier whose machine does not exist in the configuration is a
+no-op -- that is exactly the failure-containment property the
+``ext_failover`` experiment measures (a dedicated-servlet crash cannot
+touch ``WsPhp-DB``, which has no such machine).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.faults.errors import TierDown
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.sim.kernel import Simulator
+
+# Extra same-instant passes to catch interactions that sat on the ready
+# queue (uninterruptible) when the crash landed.
+_INTERRUPT_PASSES = 3
+
+
+class FaultInjector:
+    """Drives one plan against one site; inert until :meth:`start`."""
+
+    def __init__(self, sim: Simulator, site, plan: FaultPlan):
+        self.sim = sim
+        self.site = site
+        self.plan = plan
+        # (time, kind, tier, "down"/"up"/"skipped") -- for reports/tests.
+        self.log: List[tuple] = []
+
+    def start(self) -> None:
+        """Spawn one driver process per event (no-op for empty plans)."""
+        if not self.plan:
+            return
+        self.site.enable_fault_tracking()
+        for event in self.plan.events:
+            handler = {"crash": self._crash,
+                       "db_conn_glitch": self._db_conn_glitch,
+                       "lan_degrade": self._lan_degrade}[event.kind]
+            self.sim.spawn(handler(event),
+                           name=f"fault.{event.kind}.{event.tier}")
+
+    # -- event drivers -------------------------------------------------------
+
+    def _crash(self, event: FaultEvent):
+        sim, site = self.sim, self.site
+        yield max(0.0, event.at - sim.now)
+        if event.tier not in site.machines:
+            # Contained: this configuration has no such machine.
+            self.log.append((sim.now, "crash", event.tier, "skipped"))
+            return
+        site.mark_down(event.tier)
+        self.log.append((sim.now, "crash", event.tier, "down"))
+        # Abort everything in flight: the first pass interrupts the
+        # waiters, the zero-delay yields let their cleanup run and make
+        # ready-queue stragglers interruptible for the next pass.
+        for __ in range(_INTERRUPT_PASSES):
+            for proc in site.inflight_processes():
+                proc.interrupt(TierDown(event.tier))
+            yield 0.0
+        yield event.duration
+        site.mark_up(event.tier)
+        self.log.append((sim.now, "crash", event.tier, "up"))
+
+    def _db_conn_glitch(self, event: FaultEvent):
+        sim, site = self.sim, self.site
+        yield max(0.0, event.at - sim.now)
+        site.begin_db_glitch()
+        self.log.append((sim.now, "db_conn_glitch", event.tier, "down"))
+        yield event.duration
+        site.end_db_glitch()
+        self.log.append((sim.now, "db_conn_glitch", event.tier, "up"))
+
+    def _lan_degrade(self, event: FaultEvent):
+        sim, site = self.sim, self.site
+        yield max(0.0, event.at - sim.now)
+        site.lan.set_bandwidth_factor(event.factor)
+        self.log.append((sim.now, "lan_degrade", event.tier, "down"))
+        yield event.duration
+        site.lan.set_bandwidth_factor(1.0)
+        self.log.append((sim.now, "lan_degrade", event.tier, "up"))

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Optional
 
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.harness.profiles import AppProfile
 from repro.metrics.report import (
     ConfigurationSeries,
@@ -23,7 +25,8 @@ from repro.sim.kernel import Simulator
 from repro.sim.rng import RngStreams
 from repro.topology.configs import Configuration
 from repro.topology.simulation import SimCosts, SimulatedSite
-from repro.workload.client import ClientPopulation, ThinkTimeSpec
+from repro.web.server import WebServerConfig
+from repro.workload.client import ClientPopulation, RetryPolicy, ThinkTimeSpec
 from repro.workload.markov import choose_interaction
 
 
@@ -46,6 +49,13 @@ class ExperimentSpec:
     # When set (a dict interaction -> seconds), the returned point carries
     # a WIRT compliance report over the measurement window.
     wirt_limits: Optional[Dict[str, float]] = None
+    # Resilience (repro.faults): an optional crash/glitch schedule, a
+    # client timeout/retry policy, and the web server's functional
+    # config (admission control lives there).  All default to the
+    # steady-state behaviour; run_experiment is unchanged without them.
+    fault_plan: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
+    web_config: Optional[WebServerConfig] = None
 
     def scaled(self, factor: float) -> "ExperimentSpec":
         """Shrink/grow phase durations (benches use factor < 1)."""
@@ -59,13 +69,16 @@ def run_experiment(spec: ExperimentSpec) -> ThroughputPoint:
     sim = Simulator()
     site = SimulatedSite(sim, spec.config, spec.profile,
                          ssl_interactions=spec.ssl_interactions,
-                         costs=spec.sim_costs or SimCosts())
+                         costs=spec.sim_costs or SimCosts(),
+                         web_config=spec.web_config)
     rng = RngStreams(spec.seed)
     population = ClientPopulation(
         sim, spec.clients, spec.mix, site, rng, choose_interaction,
-        think=spec.think)
+        think=spec.think, retry=spec.retry)
     sampler = SysstatSampler(sim, site.machines,
                              interval=spec.sample_interval)
+    if spec.fault_plan:
+        FaultInjector(sim, site, spec.fault_plan).start()
     population.start()
     sampler.start()
 

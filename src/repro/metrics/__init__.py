@@ -1,7 +1,17 @@
-"""Measurement: the sysstat-like sampler and experiment reports."""
+"""Measurement: the sysstat-like sampler, experiment reports, and the
+availability metrics the fault-injection experiments use."""
 
+from repro.metrics.availability import (
+    AvailabilitySampler,
+    AvailabilityWindow,
+    FailoverReport,
+    FailoverSummary,
+    summarize_failover,
+)
 from repro.metrics.sampler import MachineSample, SysstatSampler
 from repro.metrics.report import CpuUtilization, ExperimentReport, ThroughputPoint
 
 __all__ = ["SysstatSampler", "MachineSample", "ExperimentReport",
-           "CpuUtilization", "ThroughputPoint"]
+           "CpuUtilization", "ThroughputPoint", "AvailabilitySampler",
+           "AvailabilityWindow", "FailoverReport", "FailoverSummary",
+           "summarize_failover"]

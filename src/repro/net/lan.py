@@ -20,7 +20,7 @@ from repro.sim.resources import Resource, safe_acquire
 class Nic:
     """One network interface: separate tx and rx channels plus counters."""
 
-    __slots__ = ("sim", "bandwidth", "_tx", "_rx",
+    __slots__ = ("sim", "bandwidth", "base_bandwidth", "_tx", "_rx",
                  "bytes_sent", "bytes_received", "name")
 
     def __init__(self, sim: Simulator, bandwidth_bps: float, name: str):
@@ -28,6 +28,9 @@ class Nic:
             raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
         self.sim = sim
         self.bandwidth = bandwidth_bps
+        # Nominal line rate; ``bandwidth`` may be scaled down temporarily
+        # by fault injection (Lan.set_bandwidth_factor).
+        self.base_bandwidth = bandwidth_bps
         self._tx = Resource(sim, capacity=1, name=f"{name}.tx")
         self._rx = Resource(sim, capacity=1, name=f"{name}.rx")
         self.bytes_sent = 0
@@ -68,6 +71,15 @@ class Lan:
             self._nics[machine.name] = nic
             machine.nic = nic
         return nic
+
+    def set_bandwidth_factor(self, factor: float) -> None:
+        """Scale every NIC's line rate (fault injection: a congested or
+        renegotiated-down LAN).  ``factor`` of 1.0 restores nominal rates;
+        transfers already on the wire keep their computed times."""
+        if factor <= 0:
+            raise ValueError(f"bandwidth factor must be positive, got {factor}")
+        for nic in self._nics.values():
+            nic.bandwidth = nic.base_bandwidth * factor
 
     def nic_of(self, machine_name: str) -> Nic:
         try:

@@ -163,6 +163,13 @@ class Simulator:
         self._ready: deque = deque()
         self._cancelled: set[int] = set()
         self._nproc = 0
+        self._current: Optional[Process] = None
+
+    @property
+    def current_process(self) -> Optional["Process"]:
+        """The process whose generator is executing right now (None when
+        the kernel itself runs, e.g. inside a scheduled callback)."""
+        return self._current
 
     # -- low level scheduling ------------------------------------------------
 
@@ -208,6 +215,8 @@ class Simulator:
 
     def _resume(self, proc: Process, value: Any, exc: Optional[BaseException]) -> None:
         gen = proc._gen
+        prev = self._current
+        self._current = proc
         try:
             if exc is not None:
                 target = gen.throw(exc)
@@ -216,6 +225,8 @@ class Simulator:
         except StopIteration as stop:
             proc._finish(stop.value)
             return
+        finally:
+            self._current = prev
         self._wait_on(proc, target)
 
     def _wait_on(self, proc: Process, target: Any) -> None:
@@ -252,10 +263,16 @@ class Simulator:
             if key in self._cancelled:
                 self._cancelled.discard(key)
                 continue
+            if proc is not None and (proc.finished or proc._timeout_key != key):
+                # Stale timeout entry: the process was interrupted (its
+                # pending timeout cancelled) or has moved on to a newer
+                # wait.  Skipping it without advancing ``now`` keeps
+                # interrupt-during-timeout deterministic.
+                continue
             self.now = time
             if fn is not None:
                 fn()
-            elif proc is not None and not proc.finished:
+            elif proc is not None:
                 proc._waiting_on = None
                 proc._timeout_key = None
                 self._resume(proc, None, None)
@@ -276,6 +293,27 @@ class Simulator:
         if until is not None and self.now < until:
             self.now = until
         return self.now
+
+    def quiescent(self) -> bool:
+        """True when nothing is pending: an empty ready queue and no live
+        heap entries (cancelled/stale timeout entries don't count).
+
+        This covers *scheduled* work only -- a process parked on an Event
+        that nothing will ever trigger occupies neither queue, so the
+        resilience tests pair this with per-process ``finished`` checks
+        and the site's lock-hygiene assertions.
+        """
+        if self._ready:
+            return False
+        for __, key, fn, proc, __unused in self._heap:
+            if key in self._cancelled:
+                continue
+            if fn is not None:
+                return False
+            if proc is not None and not proc.finished \
+                    and proc._timeout_key == key:
+                return False
+        return True
 
     def run_all(self, procs: Iterable[Process], until: Optional[float] = None) -> float:
         """Run until every process in ``procs`` has finished."""

@@ -35,8 +35,9 @@ from repro.db.driver import (
     JDBC_OVERHEADS,
     NATIVE_OVERHEADS,
 )
+from repro.faults.errors import AdmissionReject, TierDown, TransientDbError
 from repro.net.lan import Lan
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Process, Simulator
 from repro.sim.resources import (
     Resource,
     RWLock,
@@ -123,6 +124,18 @@ class SimulatedSite:
         self._sync_locks: Dict[str, RWLock] = {}
         # Interactions completed (all phases; the population windows it).
         self.interactions_done = 0
+        # -- resilience state (repro.faults) --------------------------------
+        # Machine names currently crashed; empty on the happy path, so
+        # every check below is one falsy-set test.
+        self.down: set = set()
+        # Transient database-connection failure window active?
+        self.db_conn_glitch = False
+        # In-flight interaction processes (only tracked once a fault
+        # injector attaches; the steady-state benchmark skips the dict).
+        self._inflight: Dict[Process, str] = {}
+        self._track_inflight = False
+        # Requests shed by admission control / refused by a downed tier.
+        self.rejections = 0
         # Accumulated virtual time spent *waiting* for locks (not
         # holding them): the direct measure of the contention the paper
         # attributes the bookstore results to.
@@ -156,23 +169,89 @@ class SimulatedSite:
             self._sync_locks[name] = lock
         return lock
 
+    # -- fault-injection surface (driven by repro.faults.FaultInjector) -------------
+
+    def enable_fault_tracking(self) -> None:
+        """Start registering in-flight interactions so crashes can abort
+        them.  Idempotent; off by default to keep the happy path free."""
+        self._track_inflight = True
+
+    def mark_down(self, machine_name: str) -> None:
+        """Crash one machine: new requests through it fail fast."""
+        if machine_name not in self.machines:
+            raise KeyError(f"configuration {self.config.name!r} has no "
+                           f"machine {machine_name!r}")
+        self.down.add(machine_name)
+
+    def mark_up(self, machine_name: str) -> None:
+        """Restart a crashed machine (no-op if it was up)."""
+        self.down.discard(machine_name)
+
+    def inflight_processes(self) -> list:
+        """Processes currently inside :meth:`perform` (for aborting)."""
+        return [proc for proc in self._inflight if not proc.finished]
+
+    def begin_db_glitch(self) -> None:
+        self.db_conn_glitch = True
+
+    def end_db_glitch(self) -> None:
+        self.db_conn_glitch = False
+
+    def _check_up(self, machine) -> None:
+        if machine.name in self.down:
+            raise TierDown(machine.name)
+
     # -- client API ------------------------------------------------------------------
 
     def new_session(self, client_id: int, rng) -> None:
         """Session start: nothing to do (connections are pooled)."""
 
     def perform(self, client_id: int, name: str, rng):
-        """Simulator process: execute one interaction end to end."""
+        """Simulator process: execute one interaction end to end.
+
+        Raises :class:`~repro.faults.errors.TierDown`,
+        :class:`~repro.faults.errors.TransientDbError` or
+        :class:`~repro.faults.errors.AdmissionReject` when fault injection
+        or admission control fails the request; every lock and slot taken
+        so far is released on the way out.
+        """
         variant = self.profile.profile(name).pick(rng)
+        proc = self.sim.current_process if self._track_inflight else None
+        if proc is not None:
+            self._inflight[proc] = name
+        try:
+            yield from self._perform(variant, name, rng)
+        finally:
+            if proc is not None:
+                self._inflight.pop(proc, None)
+        self.interactions_done += 1
+
+    def _perform(self, variant: InteractionVariant, name: str, rng):
         costs = self.costs
         web_cfg = self.web_config
         lan = self.lan
         web = self.web
         gen = self.gen
 
+        # A crashed front end refuses the TCP connection outright.
+        if self.down:
+            self._check_up(web)
         # Client request reaches the web server; an Apache process is
         # held for the duration of the dynamic request.
         yield from lan.transfer(self.client_machine, web, costs.request_bytes)
+        # Admission control: with every process busy and the accept queue
+        # at its bound, shed the request with a fast 503.
+        limit = web_cfg.accept_queue_limit
+        if limit is not None \
+                and self.web_processes.in_use >= self.web_processes.capacity \
+                and self.web_processes.queue_length >= limit:
+            self.rejections += 1
+            yield from web.cpu.execute(web_cfg.per_reject_cpu)
+            yield from lan.transfer(web, self.client_machine,
+                                    web_cfg.reject_response_bytes)
+            raise AdmissionReject(f"accept queue full "
+                                  f"({self.web_processes.queue_length}"
+                                  f" >= {limit})")
         yield from safe_acquire(self.web_processes)
         try:
             web_cpu = (web_cfg.per_request_cpu +
@@ -201,7 +280,6 @@ class SimulatedSite:
                                         variant.image_bytes)
         finally:
             self.web_processes.release()
-        self.interactions_done += 1
 
     # -- generator execution ------------------------------------------------------------
 
@@ -218,6 +296,9 @@ class SimulatedSite:
         """Servlet (and EJB) flavors: AJP crossing, container work."""
         ajp = self.ajp_costs
         gen = self.gen
+        if self.down:
+            # The AJP connector to a crashed container fails fast.
+            self._check_up(gen)
         request_ipc = ajp.request_overhead_bytes + 80
         reply_ipc = ajp.reply_overhead_bytes + variant.response_bytes
         # Request crossing: web -> container.
@@ -282,6 +363,12 @@ class SimulatedSite:
         __, db_cpu, request_bytes, reply_bytes, reads, writes, count = step
         issuer = self.db_client
         driver = self._driver
+        if self.down:
+            self._check_up(self.db)
+        if self.db_conn_glitch:
+            # Transient: getting a connection fails, the DB box is fine.
+            yield from issuer.cpu.execute(driver.per_call)
+            raise TransientDbError("database connection refused")
         # Client-side driver work (count > 1 for coalesced read batches).
         yield from issuer.cpu.execute(
             count * driver.per_call + reply_bytes * driver.per_result_byte)
@@ -314,6 +401,8 @@ class SimulatedSite:
     def _db_explicit_lock(self, lock_set, held_explicit):
         """LOCK TABLES: take every lock (sorted order prevents deadlock),
         hold until UNLOCK TABLES."""
+        if self.down:
+            self._check_up(self.db)
         if held_explicit:           # MySQL implicitly releases first
             self._db_explicit_unlock(held_explicit)
         for table, mode in sorted(lock_set):
@@ -389,6 +478,8 @@ class SimulatedSite:
         rmi = self.rmi_costs
         servlet = self.gen
         ejb = self.ejb
+        if self.down:
+            self._check_up(ejb)
         yield from servlet.cpu.execute(
             rmi.per_call + request_bytes * rmi.per_byte)
         yield from self.lan.transfer(servlet, ejb, request_bytes)

@@ -10,6 +10,7 @@ CPU (interrupts + TCP), and dispatch either to an in-process module
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -17,6 +18,14 @@ class WebServerConfig:
     """CPU prices for the front-end, calibrated in harness/calibrate.py."""
 
     max_processes: int = 512
+    # Admission control: once every process is busy, at most this many
+    # requests may queue at the accept point; beyond it the server sheds
+    # load with a fast 503 instead of queueing unboundedly.  ``None``
+    # (the default) is the paper's Apache behaviour: queue forever.
+    accept_queue_limit: Optional[int] = None
+    # Emitting the 503 page: a trivial static error body.
+    per_reject_cpu: float = 0.05e-3
+    reject_response_bytes: int = 180
     # Per dynamic request: accept, parse headers, route. (seconds)
     per_request_cpu: float = 0.45e-3
     # Per static hit: stat + sendfile-ish path.

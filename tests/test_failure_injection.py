@@ -160,3 +160,88 @@ def test_unknown_interaction_fails_loudly(php_profile):
     with pytest.raises(KeyError):
         sim.spawn(site.perform(0, "ghost_page", random.Random(1)))
         sim.run()
+
+
+# -- property: arbitrary fault plans leave the system clean -------------------
+#
+# Whatever crash/restart and connection-glitch schedule is thrown at a
+# site with a retrying client population, at the end of the run there
+# must be no dangling locks, no stuck clients or in-flight attempts,
+# and a quiescent kernel.  Exercised for both benchmark applications.
+
+from repro.apps.auction import AuctionApp, build_auction_database
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.sim.rng import RngStreams
+from repro.topology.configs import WS_SEP_SERVLET_DB_SYNC
+from repro.workload.client import ClientPopulation, RetryPolicy
+from repro.workload.markov import choose_interaction
+
+
+@pytest.fixture(scope="module")
+def auction_app():
+    return AuctionApp(build_auction_database(scale=0.002, tiny=True))
+
+
+@pytest.fixture(scope="module")
+def auction_profile(auction_app):
+    return profile_application(auction_app, auction_app.deploy_php(), "php",
+                               repetitions=2)
+
+
+_fault_events = st.lists(
+    st.tuples(st.sampled_from(["crash", "crash", "db_conn_glitch"]),
+              st.sampled_from(["web", "servlet", "ejb", "db"]),
+              st.floats(min_value=1.0, max_value=35.0),
+              st.floats(min_value=0.5, max_value=12.0)),
+    min_size=1, max_size=3)
+
+
+def _build_plan(drawn) -> FaultPlan:
+    return FaultPlan(tuple(
+        FaultEvent(kind, tier if kind == "crash" else "db", at, duration)
+        for kind, tier, at, duration in drawn))
+
+
+def _run_fault_plan(profile, config, mix, plan) -> None:
+    sim = Simulator()
+    site = SimulatedSite(sim, config, profile)
+    population = ClientPopulation(
+        sim, 5, mix, site, RngStreams(9), choose_interaction,
+        retry=RetryPolicy(deadline=4.0, max_retries=2, backoff_base=0.25,
+                          backoff_cap=1.0, retry_budget=20))
+    FaultInjector(sim, site, plan).start()
+    population.start()
+    sim.run(until=45.0)
+    population.stop()
+    sim.run()          # drain everything left (no samplers are running)
+    assert all(p.finished for p in population._procs), "stuck client"
+    assert not site.inflight_processes(), "stuck in-flight interaction"
+    assert _no_dangling_locks(site)
+    assert site.web_processes.in_use == 0
+    assert site.web_processes.queue_length == 0
+    assert sim.quiescent()
+
+
+@settings(max_examples=10, deadline=None)
+@given(drawn=_fault_events)
+def test_any_fault_plan_leaves_bookstore_clean(drawn):
+    fn = test_any_fault_plan_leaves_bookstore_clean
+    _run_fault_plan(fn.profile, WS_SEP_SERVLET_DB_SYNC, fn.mix,
+                    _build_plan(drawn))
+
+
+@settings(max_examples=10, deadline=None)
+@given(drawn=_fault_events)
+def test_any_fault_plan_leaves_auction_clean(drawn):
+    fn = test_any_fault_plan_leaves_auction_clean
+    _run_fault_plan(fn.profile, WS_PHP_DB, fn.mix, _build_plan(drawn))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _attach_fault_plan_inputs(app, sync_profile, auction_app,
+                              auction_profile):
+    test_any_fault_plan_leaves_bookstore_clean.profile = sync_profile
+    test_any_fault_plan_leaves_bookstore_clean.mix = app.mix("shopping")
+    test_any_fault_plan_leaves_auction_clean.profile = auction_profile
+    test_any_fault_plan_leaves_auction_clean.mix = auction_app.mix("bidding")
+    yield

@@ -305,3 +305,119 @@ def test_timeout_event_fires():
     sim.spawn(proc())
     sim.run()
     assert seen == [4.0]
+
+
+# -- interrupt vs pending timeouts (regression: stale heap entries) -----------
+
+
+def test_interrupt_during_timeout_resumes_exactly_once():
+    """An interrupted sleeper's pending timeout is cancelled: it must not
+    be woken a second time when the stale heap entry surfaces."""
+    sim = Simulator()
+    resumes = []
+
+    def sleeper():
+        try:
+            yield 10.0
+            resumes.append(("woke", sim.now))
+        except Interrupt:
+            resumes.append(("interrupted", sim.now))
+            yield 1.0
+            resumes.append(("slept-again", sim.now))
+
+    proc = sim.spawn(sleeper())
+
+    def killer():
+        yield 2.0
+        assert proc.interrupt("chaos")
+
+    sim.spawn(killer())
+    sim.run()
+    assert resumes == [("interrupted", 2.0), ("slept-again", 3.0)]
+    assert proc.finished
+    # The stale 10 s entry was skipped without advancing virtual time.
+    assert sim.now == 3.0
+
+
+def test_stale_timeout_does_not_cut_a_newer_wait_short():
+    sim = Simulator()
+    wake = []
+
+    def sleeper():
+        try:
+            yield 10.0
+        except Interrupt:
+            yield 20.0          # newer, longer wait
+            wake.append(sim.now)
+
+    proc = sim.spawn(sleeper())
+
+    def killer():
+        yield 2.0
+        proc.interrupt()
+
+    sim.spawn(killer())
+    sim.run()
+    # The dead 10 s entry must not wake the process at t=10.
+    assert wake == [22.0]
+
+
+def test_interrupt_of_completed_process_returns_false():
+    sim = Simulator()
+
+    def quick():
+        yield 1.0
+
+    proc = sim.spawn(quick())
+    sim.run()
+    assert proc.finished
+    assert proc.interrupt("late") is False
+    sim.run()
+    assert sim.quiescent()
+
+
+def test_interrupt_of_ready_process_returns_false():
+    """A process sitting on the ready queue (spawned, not yet run) cannot
+    take an interrupt -- callers get False and may re-arm."""
+    sim = Simulator()
+
+    def sleeper():
+        yield 1.0
+
+    proc = sim.spawn(sleeper())
+    assert proc.interrupt("too-early") is False   # still on the ready queue
+    sim.run()
+    assert proc.finished
+
+
+def test_quiescent_reflects_pending_and_stale_work():
+    sim = Simulator()
+    assert sim.quiescent()                        # fresh kernel
+
+    def sleeper():
+        try:
+            yield 10.0
+        except Interrupt:
+            return
+
+    proc = sim.spawn(sleeper())
+    assert not sim.quiescent()                    # ready queue occupied
+    sim.run(until=1.0)
+    assert not sim.quiescent()                    # live timeout at t=10
+
+    def killer():
+        yield 2.0
+        proc.interrupt()
+
+    sim.spawn(killer())
+    sim.run(until=5.0)
+    assert proc.finished
+    # The heap still holds the sleeper's cancelled t=10 entry; it is
+    # stale, so the kernel is quiescent anyway.
+    assert sim._heap
+    assert sim.quiescent()
+
+    sim.schedule(1.0, lambda: None)
+    assert not sim.quiescent()                    # real callback pending
+    sim.run()
+    assert sim.quiescent()
