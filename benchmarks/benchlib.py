@@ -1,4 +1,10 @@
-"""Benchmark support: reduced-grid figure runs with session caching."""
+"""Benchmark support: reduced-grid figure runs with session caching.
+
+The reduced grids and phases themselves live in
+:mod:`repro.harness.perf` so the ``python -m repro perf`` harness and
+these pytest benches time the identical workload; this module adds the
+pytest-session report cache.
+"""
 
 from __future__ import annotations
 
@@ -8,41 +14,34 @@ from repro.experiments.common import (
     Phases,
     get_app,
     get_profiles,
+    normalize_configurations,
 )
 from repro.experiments.registry import FIGURES
-from repro.harness.experiment import ExperimentSpec, run_sweep
+from repro.harness.experiment import ExperimentSpec, run_figure
+from repro.harness.perf import BENCH_GRIDS, bench_grids
+from repro.harness.perf import BENCH_PHASES as _PERF_PHASES
 from repro.metrics.report import ExperimentReport
 from repro.topology.configs import ALL_CONFIGURATIONS
 
-# Shorter-than-quick phases tuned so each figure bench finishes in
-# seconds while still reaching steady state at the reduced client counts.
-BENCH_PHASES = {"bookstore": Phases(300.0, 300.0, 5.0),
-                "auction": Phases(90.0, 120.0, 5.0)}
+# Kept as Phases objects for callers that index phase fields.
+BENCH_PHASES: Dict[str, Phases] = {
+    app: Phases(*durations) for app, durations in _PERF_PHASES.items()}
 
-# Reduced client grids per figure id (throughput figure ids only).
-_BENCH_GRIDS: Dict[str, Dict[str, tuple]] = {
-    "fig05": {"default": (300, 1000), "ejb": (100, 300)},
-    "fig07": {"default": (200, 700), "ejb": (60, 150)},
-    "fig09": {"default": (800, 2200), "ejb": (150, 400)},
-    "fig11": {"default": (700, 1400), "ejb": (250, 550)},
-    "fig13": {"default": (1500, 5000), "ejb": (150, 400)},
-}
-
-
-def bench_grids(figure_id: str) -> Dict[str, tuple]:
-    spec, __ = FIGURES[figure_id]
-    throughput_id = spec.throughput_figure
-    grids = _BENCH_GRIDS[throughput_id]
-    return {config.name: grids["ejb" if config.flavor == "ejb"
-                               else "default"]
-            for config in ALL_CONFIGURATIONS}
+__all__ = ["BENCH_GRIDS", "BENCH_PHASES", "bench_grids", "run_bench_figure"]
 
 
 def run_bench_figure(figure_id: str, state: dict,
-                     configurations: Optional[Tuple[str, ...]] = None) \
-        -> ExperimentReport:
-    """Run (or fetch from the session cache) a reduced figure sweep."""
+                     configurations: Optional[Tuple[str, ...]] = None,
+                     jobs: Optional[int] = None) -> ExperimentReport:
+    """Run (or fetch from the session cache) a reduced figure sweep.
+
+    The cache key normalizes ``configurations`` (sorted + deduped), so
+    permuted or repeated subsets hit the same entry instead of
+    re-running the sweep.  ``jobs`` selects the sweep runner (parallel
+    output is bit-identical to serial, so it is not part of the key).
+    """
     spec, __ = FIGURES[figure_id]
+    configurations = normalize_configurations(configurations)
     key = (spec.throughput_figure, configurations)
     if key in state:
         return state[key]
@@ -51,18 +50,23 @@ def run_bench_figure(figure_id: str, state: dict,
     mix = app.mix(spec.mix_name)
     phases = BENCH_PHASES[spec.app_name]
     grids = bench_grids(figure_id)
-    report = ExperimentReport(
-        title=spec.title + " [bench grid]",
-        workload=f"{spec.app_name}/{spec.mix_name}")
     todo = configurations or tuple(c.name for c in ALL_CONFIGURATIONS)
+    specs_by_config = {}
+    counts_by_config = {}
     for config in ALL_CONFIGURATIONS:
         if config.name not in todo:
             continue
-        base = ExperimentSpec(
+        specs_by_config[config.name] = ExperimentSpec(
             config=config, profile=profiles[config.profile_flavor],
             mix=mix, clients=1, ramp_up=phases.ramp_up,
             measure=phases.measure, ramp_down=phases.ramp_down,
-            ssl_interactions=app.SSL_INTERACTIONS)
-        report.series[config.name] = run_sweep(base, grids[config.name])
+            ssl_interactions=app.SSL_INTERACTIONS,
+            app_name=spec.app_name)
+        counts_by_config[config.name] = grids[config.name]
+    report = run_figure(
+        title=spec.title + " [bench grid]",
+        workload=f"{spec.app_name}/{spec.mix_name}",
+        specs_by_config=specs_by_config,
+        client_counts_by_config=counts_by_config, jobs=jobs)
     state[key] = report
     return report

@@ -3,11 +3,20 @@
 Commands
 --------
 figures              list the reproducible figures
-run FIG [--full]     regenerate one figure (e.g. ``run fig05``)
+run FIG [--full] [--jobs N]
+                     regenerate one figure (e.g. ``run fig05``)
 calibrate            print analytic saturation points vs paper targets
-bboard [--full]      run the bulletin-board extension experiment
+bboard [--full] [--jobs N]
+                     run the bulletin-board extension experiment
 faults [...]         crash/restart one tier mid-run, report availability
+perf [...]           time a bench grid serial vs parallel; write
+                     BENCH_perf.json
 version              print the package version
+
+Sweep commands accept ``--jobs N`` to fan the independent simulation
+runs out over N worker processes (default: one per CPU; ``--jobs 1``
+is the exact serial legacy path).  Parallel output is bit-identical
+to serial output under pinned seeds.
 """
 
 from __future__ import annotations
@@ -32,7 +41,7 @@ def _cmd_run(args) -> int:
         print(f"unknown figure {args.figure!r}; try 'python -m repro "
               f"figures'", file=sys.stderr)
         return 2
-    print(render_figure(args.figure, full=args.full))
+    print(render_figure(args.figure, full=args.full, jobs=args.jobs))
     return 0
 
 
@@ -44,7 +53,7 @@ def _cmd_calibrate(__args) -> int:
 
 def _cmd_bboard(args) -> int:
     from repro.experiments.ext_bboard import render
-    print(render(full=args.full))
+    print(render(full=args.full, jobs=args.jobs))
     return 0
 
 
@@ -53,7 +62,22 @@ def _cmd_faults(args) -> int:
     mix_name = args.mix or {"bookstore": "shopping", "auction": "bidding",
                             "bboard": "submission"}[args.app]
     print(render(tier=args.tier, scale=args.scale, app_name=args.app,
-                 mix_name=mix_name, seed=args.seed))
+                 mix_name=mix_name, seed=args.seed, jobs=args.jobs))
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.harness.perf import render_perf, run_perf
+    configurations = tuple(args.config) if args.config else None
+    result = run_perf(figure_id=args.figure, jobs=args.jobs,
+                      out_path=args.out, configurations=configurations)
+    print(render_perf(result))
+    if args.out:
+        print(f"\n[perf data written to {args.out}]")
+    if not result["parallel_identical_to_serial"]:
+        print("ERROR: parallel sweep output differs from serial output",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -72,10 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("figures", help="list reproducible figures") \
         .set_defaults(func=_cmd_figures)
 
+    def add_jobs_argument(cmd_parser) -> None:
+        from repro.harness.parallel import default_jobs
+        cmd_parser.add_argument(
+            "--jobs", type=int, default=default_jobs(), metavar="N",
+            help="worker processes for the sweep (default: one per CPU, "
+                 "honoring REPRO_JOBS; 1 = exact serial legacy path)")
+
     run = sub.add_parser("run", help="regenerate one figure")
     run.add_argument("figure", help="figure id, e.g. fig05")
     run.add_argument("--full", action="store_true",
                      help="paper-scale grid")
+    add_jobs_argument(run)
     run.set_defaults(func=_cmd_run)
 
     sub.add_parser("calibrate", help="analytic demands vs paper targets") \
@@ -84,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     bboard = sub.add_parser("bboard",
                             help="bulletin-board extension experiment")
     bboard.add_argument("--full", action="store_true")
+    add_jobs_argument(bboard)
     bboard.set_defaults(func=_cmd_bboard)
 
     faults = sub.add_parser(
@@ -99,7 +132,21 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--mix", default=None,
                         help="workload mix (default: app's headline mix)")
     faults.add_argument("--seed", type=int, default=42)
+    add_jobs_argument(faults)
     faults.set_defaults(func=_cmd_faults)
+
+    perf = sub.add_parser(
+        "perf", help="time one figure's bench grid serial vs parallel "
+                     "and write BENCH_perf.json")
+    perf.add_argument("--figure", default="fig05",
+                      help="throughput figure id (default: fig05)")
+    perf.add_argument("--config", action="append", metavar="NAME",
+                      help="restrict to one configuration (repeatable)")
+    perf.add_argument("--out", default="BENCH_perf.json",
+                      help="output path (default: BENCH_perf.json; "
+                           "'' to skip writing)")
+    add_jobs_argument(perf)
+    perf.set_defaults(func=_cmd_perf)
 
     sub.add_parser("version", help="print version") \
         .set_defaults(func=_cmd_version)

@@ -98,7 +98,14 @@ class Database:
         return table
 
     def create_index(self, table_name: str, index: IndexDef) -> None:
+        """Add an index; cached plans are invalidated so queries that
+        could now use it are re-planned on next execution."""
         self.table(table_name).create_index(index)
+        self._plan_cache.clear()
+
+    def drop_index(self, table_name: str, index_name: str) -> None:
+        """Drop an index; cached plans that chose it are invalidated."""
+        self.table(table_name).drop_index(index_name)
         self._plan_cache.clear()
 
     def drop_table(self, name: str) -> None:
@@ -168,6 +175,12 @@ class Database:
         elif isinstance(ast, n.CreateIndex):
             prepared = _Prepared(ast=ast, kind="create_index",
                                  param_count=param_count)
+        elif isinstance(ast, n.DropTable):
+            prepared = _Prepared(ast=ast, kind="drop_table",
+                                 param_count=param_count)
+        elif isinstance(ast, n.DropIndex):
+            prepared = _Prepared(ast=ast, kind="drop_index",
+                                 param_count=param_count)
         elif isinstance(ast, n.Transaction):
             prepared = _Prepared(ast=ast, kind="txn", param_count=param_count)
         elif isinstance(ast, n.Explain):
@@ -185,7 +198,8 @@ class Database:
         else:  # pragma: no cover - parser covers the statement space
             raise SqlError(f"unsupported statement: {sql!r}")
         # DDL invalidates the cache, so only cache DML/queries.
-        if prepared.kind not in ("create_table", "create_index"):
+        if prepared.kind not in ("create_table", "create_index",
+                                 "drop_table", "drop_index"):
             self._plan_cache[sql] = prepared
         return prepared
 
@@ -257,6 +271,12 @@ class Database:
         if kind == "create_index":
             self.create_index(prepared.ast.table, prepared.ast.index)
             return ResultSet(kind="create_index")
+        if kind == "drop_table":
+            self.drop_table(prepared.ast.name)
+            return ResultSet(kind="drop_table")
+        if kind == "drop_index":
+            self.drop_index(prepared.ast.table, prepared.ast.name)
+            return ResultSet(kind="drop_index")
         if kind == "txn":
             # MyISAM: BEGIN/COMMIT/ROLLBACK are accepted no-ops.
             return ResultSet(kind="txn")

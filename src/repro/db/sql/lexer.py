@@ -20,7 +20,8 @@ KEYWORDS = {
     "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL", "INSERT", "INTO",
     "VALUES", "UPDATE", "SET", "DELETE", "LOCK", "UNLOCK", "TABLES", "READ",
     "WRITE", "CREATE", "TABLE", "INDEX", "UNIQUE", "PRIMARY", "KEY",
-    "AUTO_INCREMENT", "USING", "HASH", "INT", "INTEGER", "FLOAT", "VARCHAR",
+    "AUTO_INCREMENT", "USING", "HASH", "DROP", "INT", "INTEGER", "FLOAT",
+    "VARCHAR",
     "TEXT", "DATETIME", "COUNT", "SUM", "MIN", "MAX", "AVG", "BEGIN",
     "COMMIT", "ROLLBACK", "HAVING", "EXPLAIN",
 }

@@ -168,6 +168,18 @@ class CreateIndex:
 
 
 @dataclass
+class DropTable:
+    name: str
+
+
+@dataclass
+class DropIndex:
+    """DROP INDEX name ON table (MySQL syntax)."""
+    table: str
+    name: str
+
+
+@dataclass
 class Transaction:
     """BEGIN / COMMIT / ROLLBACK -- no-ops under MyISAM, kept for parity."""
     action: str

@@ -101,6 +101,8 @@ class _Parser:
             stmt = n.UnlockTables()
         elif tok.is_kw("CREATE"):
             stmt = self.create()
+        elif tok.is_kw("DROP"):
+            stmt = self.drop()
         elif tok.is_kw("BEGIN", "COMMIT", "ROLLBACK"):
             stmt = n.Transaction(self.next().value)
         else:
@@ -290,6 +292,15 @@ class _Parser:
         unique = bool(self.accept_kw("UNIQUE"))
         self.expect_kw("INDEX")
         return self.create_index(unique)
+
+    def drop(self):
+        self.expect_kw("DROP")
+        if self.accept_kw("TABLE"):
+            return n.DropTable(name=self.ident())
+        self.expect_kw("INDEX")
+        name = self.ident()
+        self.expect_kw("ON")
+        return n.DropIndex(table=self.ident(), name=name)
 
     def create_table(self) -> n.CreateTable:
         name = self.ident()

@@ -69,6 +69,17 @@ class Table:
         """Add a secondary index after table creation."""
         self._add_index(index_def)
 
+    def drop_index(self, name: str) -> None:
+        """Remove a secondary index; the primary-key index is protected."""
+        if name not in self.indexes:
+            raise SqlError(
+                f"table {self.name!r} has no index {name!r}")
+        if self.schema.primary_key is not None and \
+                name == f"pk_{self.name}":
+            raise SqlError(
+                f"cannot drop primary-key index {name!r} of {self.name!r}")
+        del self.indexes[name]
+
     def _key_of(self, index, row: Sequence) -> tuple:
         return tuple(row[self._colmap[c]] for c in index.columns)
 

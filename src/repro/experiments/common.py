@@ -8,7 +8,7 @@ from typing import Dict, Optional, Tuple
 from repro.apps.auction import AuctionApp, build_auction_database
 from repro.apps.bboard import BulletinBoardApp, build_bboard_database
 from repro.apps.bookstore import BookstoreApp, build_bookstore_database
-from repro.harness.experiment import ExperimentSpec, run_sweep
+from repro.harness.experiment import ExperimentSpec, run_figure
 from repro.harness.profiles import AppProfile, profile_all_flavors
 from repro.metrics.report import ExperimentReport
 from repro.topology.configs import ALL_CONFIGURATIONS, Configuration
@@ -142,11 +142,31 @@ BBOARD_SUBMISSION = FigureSpec(
                  (200, 600), (100, 200, 350, 500, 700)))
 
 
+def normalize_configurations(configurations: Optional[tuple]) \
+        -> Optional[tuple]:
+    """Sort + dedupe a configuration-name subset (None stays None).
+
+    Cache keys use the normalized form, so permuted or repeated subsets
+    hit the same entry instead of re-running the sweep.
+    """
+    if configurations is None:
+        return None
+    return tuple(sorted(set(configurations)))
+
+
 def run_figure_spec(spec: FigureSpec, full: bool = False,
                     configurations: Optional[tuple] = None,
                     phases: Optional[Phases] = None,
-                    seed: int = 42) -> ExperimentReport:
-    """Run (or reuse) the sweep behind one figure pair."""
+                    seed: int = 42,
+                    jobs: Optional[int] = None) -> ExperimentReport:
+    """Run (or reuse) the sweep behind one figure pair.
+
+    ``jobs`` selects the sweep runner: None/1 is the serial legacy
+    path, > 1 fans the whole figure grid out over a process pool
+    (repro.harness.parallel).  Both produce bit-identical reports
+    under pinned seeds, so the cache key ignores ``jobs``.
+    """
+    configurations = normalize_configurations(configurations)
     cache_key = (spec.throughput_figure, full, configurations, phases, seed)
     cached = _REPORT_CACHE.get(cache_key)
     if cached is not None:
@@ -156,21 +176,25 @@ def run_figure_spec(spec: FigureSpec, full: bool = False,
     mix = app.mix(spec.mix_name)
     if phases is None:
         phases = (PAPER_PHASES if full else QUICK_PHASES)[spec.app_name]
-    report = ExperimentReport(
-        title=spec.title,
-        workload=f"{spec.app_name}/{spec.mix_name}")
     todo = configurations or tuple(c.name for c in ALL_CONFIGURATIONS)
+    specs_by_config = {}
+    counts_by_config = {}
     for config in ALL_CONFIGURATIONS:
         if config.name not in todo:
             continue
-        base = ExperimentSpec(
+        specs_by_config[config.name] = ExperimentSpec(
             config=config, profile=profiles[config.profile_flavor],
             mix=mix, clients=1,
             ramp_up=phases.ramp_up, measure=phases.measure,
             ramp_down=phases.ramp_down, seed=seed,
-            ssl_interactions=app.SSL_INTERACTIONS)
-        report.series[config.name] = run_sweep(
-            base, spec.grid_for(config.name, full))
+            ssl_interactions=app.SSL_INTERACTIONS,
+            app_name=spec.app_name)
+        counts_by_config[config.name] = spec.grid_for(config.name, full)
+    report = run_figure(
+        title=spec.title,
+        workload=f"{spec.app_name}/{spec.mix_name}",
+        specs_by_config=specs_by_config,
+        client_counts_by_config=counts_by_config, jobs=jobs)
     _REPORT_CACHE[cache_key] = report
     return report
 

@@ -19,15 +19,15 @@ from repro.experiments.common import (
 )
 
 
-def run(full: bool = False):
+def run(full: bool = False, jobs=None):
     """Run both sweeps; returns (bboard_report, auction_report)."""
-    bboard = run_figure_spec(BBOARD_SUBMISSION, full=full)
-    auction = run_figure_spec(AUCTION_BIDDING, full=full)
+    bboard = run_figure_spec(BBOARD_SUBMISSION, full=full, jobs=jobs)
+    auction = run_figure_spec(AUCTION_BIDDING, full=full, jobs=jobs)
     return bboard, auction
 
 
-def render(full: bool = False) -> str:
-    bboard, auction = run(full=full)
+def render(full: bool = False, jobs=None) -> str:
+    bboard, auction = run(full=full, jobs=jobs)
     lines = [bboard.render_throughput_table(), "",
              bboard.render_cpu_table(), "",
              "--- prediction check: same ordering as the auction site? ---"]
@@ -50,5 +50,8 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(
         description="Bulletin-board extension experiment")
     parser.add_argument("--full", action="store_true")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep (default: "
+                             "serial; 0 = one per CPU)")
     args = parser.parse_args()
-    print(render(full=args.full))
+    print(render(full=args.full, jobs=args.jobs))

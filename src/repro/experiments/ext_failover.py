@@ -109,29 +109,41 @@ def run_failover_point(config, profile, mix, ssl_interactions,
                               contained=contained)
 
 
+def _failover_task(task) -> FailoverSummary:
+    """Worker entry for the parallel path: profiles come from the
+    worker's warm cache, so tasks ship only names and scalars."""
+    config, app_name, mix_name, tier, scale, seed = task
+    app = get_app(app_name)
+    profile = get_profiles(app_name)[config.profile_flavor]
+    return run_failover_point(config, profile, app.mix(mix_name),
+                              app.SSL_INTERACTIONS, tier, scale, seed=seed)
+
+
 def run_failover(tier: str = "db", scale: str = "tiny",
                  app_name: str = "bookstore", mix_name: str = "shopping",
                  seed: int = 42,
-                 configurations: Optional[Tuple[str, ...]] = None) \
-        -> FailoverReport:
-    """The full experiment: all six configurations through one cycle."""
+                 configurations: Optional[Tuple[str, ...]] = None,
+                 jobs: Optional[int] = None) -> FailoverReport:
+    """The full experiment: all six configurations through one cycle.
+
+    ``jobs`` > 1 runs the per-configuration crash/restart cycles in
+    parallel (they are independent simulations); summaries are merged
+    in configuration order, identical to the serial output.
+    """
     if tier not in TIERS:
         raise KeyError(f"unknown tier {tier!r}; have {TIERS}")
     timeline = SCALES[scale]
-    app = get_app(app_name)
-    profiles = get_profiles(app_name)
-    mix = app.mix(mix_name)
     report = FailoverReport(
         title=f"Availability under {tier} crash/restart "
               f"({app_name}/{mix_name}, scale={scale})",
         tier=tier)
     todo = configurations or tuple(c.name for c in ALL_CONFIGURATIONS)
-    for config in ALL_CONFIGURATIONS:
-        if config.name not in todo:
-            continue
-        report.summaries.append(run_failover_point(
-            config, profiles[config.profile_flavor], mix,
-            app.SSL_INTERACTIONS, tier, timeline, seed=seed))
+    tasks = [(config, app_name, mix_name, tier, timeline, seed)
+             for config in ALL_CONFIGURATIONS if config.name in todo]
+    from repro.harness.parallel import parallel_map
+    report.summaries.extend(
+        parallel_map(_failover_task, tasks, jobs=jobs,
+                     app_names=(app_name,)))
     return report
 
 
@@ -154,11 +166,14 @@ def main(argv=None) -> int:
     parser.add_argument("--mix", default=None,
                         help="workload mix (default: app's headline mix)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the per-configuration "
+                             "runs (default: serial; 0 = one per CPU)")
     args = parser.parse_args(argv)
     mix_name = args.mix or {"bookstore": "shopping", "auction": "bidding",
                             "bboard": "submission"}[args.app]
     print(render(tier=args.tier, scale=args.scale, app_name=args.app,
-                 mix_name=mix_name, seed=args.seed))
+                 mix_name=mix_name, seed=args.seed, jobs=args.jobs))
     return 0
 
 

@@ -27,16 +27,17 @@ def figure_spec(figure_id: str) -> FigureSpec:
 
 
 def run_figure(figure_id: str, full: bool = False,
-               configurations=None) -> ExperimentReport:
+               configurations=None, jobs=None) -> ExperimentReport:
     """Run the sweep behind a figure and return its report."""
     spec, __ = FIGURES[figure_id]
-    return run_figure_spec(spec, full=full, configurations=configurations)
+    return run_figure_spec(spec, full=full, configurations=configurations,
+                           jobs=jobs)
 
 
-def render_figure(figure_id: str, full: bool = False) -> str:
+def render_figure(figure_id: str, full: bool = False, jobs=None) -> str:
     """The figure as printable text (throughput table or CPU bars)."""
     spec, kind = FIGURES[figure_id]
-    report = run_figure_spec(spec, full=full)
+    report = run_figure_spec(spec, full=full, jobs=jobs)
     if kind == "cpu":
         return report.render_cpu_table()
     return report.render_throughput_table()
@@ -52,9 +53,13 @@ def main(figure_id: str, argv=None) -> None:
                         help="paper-scale client grid and phase durations")
     parser.add_argument("--csv", metavar="PATH",
                         help="also write the sweep data as CSV")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep (default: "
+                             "serial; 0 = one per CPU)")
     args = parser.parse_args(argv)
-    print(render_figure(figure_id, full=args.full))
+    print(render_figure(figure_id, full=args.full, jobs=args.jobs))
     if args.csv:
         spec, __ = FIGURES[figure_id]
-        run_figure_spec(spec, full=args.full).save_csv(args.csv)
+        run_figure_spec(spec, full=args.full, jobs=args.jobs) \
+            .save_csv(args.csv)
         print(f"\n[csv written to {args.csv}]")

@@ -56,6 +56,10 @@ class ExperimentSpec:
     fault_plan: Optional[FaultPlan] = None
     retry: Optional[RetryPolicy] = None
     web_config: Optional[WebServerConfig] = None
+    # Which application the profile belongs to.  Optional; when set, the
+    # parallel runner ships specs without the (large) profile and
+    # rehydrates it from each worker's cache (repro.harness.parallel).
+    app_name: Optional[str] = None
 
     def scaled(self, factor: float) -> "ExperimentSpec":
         """Shrink/grow phase durations (benches use factor < 1)."""
@@ -116,18 +120,29 @@ def run_experiment(spec: ExperimentSpec) -> ThroughputPoint:
         db_lock_wait_per_interaction=(
             (site.db_lock_wait_time - db_wait0) / completed),
         sync_lock_wait_per_interaction=(
-            (site.sync_lock_wait_time - sync_wait0) / completed))
+            (site.sync_lock_wait_time - sync_wait0) / completed),
+        kernel_events=sim.events_processed)
     if spec.wirt_limits is not None:
         from repro.metrics.wirt import evaluate_wirt
         point.wirt = evaluate_wirt(stats, spec.wirt_limits)
     return point
 
 
-def run_sweep(base: ExperimentSpec,
-              client_counts: Iterable[int]) -> ConfigurationSeries:
-    """One configuration across a grid of client counts."""
+def run_sweep(base: ExperimentSpec, client_counts: Iterable[int],
+              jobs: Optional[int] = None) -> ConfigurationSeries:
+    """One configuration across a grid of client counts.
+
+    ``jobs`` of None/1 runs the exact legacy serial path; ``jobs`` > 1
+    fans the independent points out over a process pool
+    (:mod:`repro.harness.parallel`) and merges the results in client-
+    count order, bit-identical to the serial output under pinned seeds.
+    """
+    counts = list(client_counts)
+    if jobs is not None and jobs != 1:
+        from repro.harness.parallel import run_sweep_parallel
+        return run_sweep_parallel(base, counts, jobs=jobs)
     series = ConfigurationSeries(base.config.name)
-    for clients in client_counts:
+    for clients in counts:
         point = run_experiment(replace(base, clients=clients))
         series.add(point)
     return series
@@ -135,10 +150,27 @@ def run_sweep(base: ExperimentSpec,
 
 def run_figure(title: str, workload: str,
                specs_by_config: Dict[str, ExperimentSpec],
-               client_counts_by_config: Dict[str, Iterable[int]]) \
-        -> ExperimentReport:
-    """Run every configuration's sweep and assemble a figure report."""
+               client_counts_by_config: Dict[str, Iterable[int]],
+               jobs: Optional[int] = None) -> ExperimentReport:
+    """Run every configuration's sweep and assemble a figure report.
+
+    With ``jobs`` > 1 the *whole figure* (every configuration x client
+    count) is one task pool, so stragglers in one configuration overlap
+    with work from another; results are merged in the serial
+    (configuration, client-count) order.
+    """
     report = ExperimentReport(title=title, workload=workload)
+    if jobs is not None and jobs != 1:
+        from repro.harness.parallel import run_points
+        labeled = [(name, replace(spec, clients=clients))
+                   for name, spec in specs_by_config.items()
+                   for clients in client_counts_by_config[name]]
+        points = run_points([spec for __, spec in labeled], jobs=jobs)
+        for (name, spec), point in zip(labeled, points):
+            if name not in report.series:
+                report.series[name] = ConfigurationSeries(spec.config.name)
+            report.series[name].add(point)
+        return report
     for name, spec in specs_by_config.items():
         series = run_sweep(spec, client_counts_by_config[name])
         report.series[name] = series

@@ -1,0 +1,190 @@
+"""Perf-tracking harness: timed bench grids and ``BENCH_perf.json``.
+
+``python -m repro perf`` times one figure's reduced bench grid twice --
+serially (``jobs=1``, the exact legacy code path) and through the
+parallel sweep runner -- verifies the two reports are field-for-field
+identical, measures the single-process kernel rate (events/sec) on a
+canonical point, and writes everything to ``BENCH_perf.json``.  The
+file is tracked from this PR onward so the perf trajectory of the
+simulator is visible in-repo, and CI regenerates it as an artifact on
+every push.
+
+The reduced bench grids and phases live here (not in
+``benchmarks/benchlib.py``) so both the CLI and the pytest benches
+drive the identical workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, replace
+from typing import Dict, List, Optional, Tuple
+
+# Shorter-than-quick phases tuned so each figure bench finishes in
+# seconds while still reaching steady state at the reduced client counts.
+BENCH_PHASES: Dict[str, Tuple[float, float, float]] = {
+    "bookstore": (300.0, 300.0, 5.0),
+    "auction": (90.0, 120.0, 5.0),
+}
+
+# Reduced client grids per figure id (throughput figure ids only).
+BENCH_GRIDS: Dict[str, Dict[str, tuple]] = {
+    "fig05": {"default": (300, 1000), "ejb": (100, 300)},
+    "fig07": {"default": (200, 700), "ejb": (60, 150)},
+    "fig09": {"default": (800, 2200), "ejb": (150, 400)},
+    "fig11": {"default": (700, 1400), "ejb": (250, 550)},
+    "fig13": {"default": (1500, 5000), "ejb": (150, 400)},
+}
+
+# Pre-PR single-process baseline for the canonical fig05 point
+# (WsServlet-DB, 300 clients, bench phases), measured at the tip of
+# PR 1 (commit 860b8ac) on the container this PR was developed in:
+# 2.405 s wall for 1,433,245 kernel events.  The events/sec figure in
+# BENCH_perf.json is compared against this; it is machine-dependent,
+# so treat cross-machine comparisons as indicative only (the committed
+# BENCH_perf.json was produced on the same container).
+PRE_PR_BASELINE = {
+    "commit": "860b8ac",
+    "wall_s": 2.405,
+    "kernel_events": 1433245,
+    "events_per_sec": 595942,
+}
+
+
+def bench_grids(figure_id: str) -> Dict[str, tuple]:
+    """Per-configuration reduced client grids for one figure id."""
+    from repro.experiments.registry import FIGURES
+    from repro.topology.configs import ALL_CONFIGURATIONS
+    spec, __ = FIGURES[figure_id]
+    grids = BENCH_GRIDS[spec.throughput_figure]
+    return {config.name: grids["ejb" if config.flavor == "ejb"
+                               else "default"]
+            for config in ALL_CONFIGURATIONS}
+
+
+def build_bench_specs(figure_id: str,
+                      configurations: Optional[Tuple[str, ...]] = None) \
+        -> List[Tuple[str, object]]:
+    """The bench grid as an ordered [(config_name, ExperimentSpec)] list."""
+    from repro.experiments.common import get_app, get_profiles
+    from repro.experiments.registry import FIGURES
+    from repro.harness.experiment import ExperimentSpec
+    from repro.topology.configs import ALL_CONFIGURATIONS
+
+    fig_spec, __ = FIGURES[figure_id]
+    app = get_app(fig_spec.app_name)
+    profiles = get_profiles(fig_spec.app_name)
+    mix = app.mix(fig_spec.mix_name)
+    ramp_up, measure, ramp_down = BENCH_PHASES[fig_spec.app_name]
+    grids = bench_grids(figure_id)
+    todo = tuple(sorted(set(configurations))) if configurations \
+        else tuple(c.name for c in ALL_CONFIGURATIONS)
+    out: List[Tuple[str, object]] = []
+    for config in ALL_CONFIGURATIONS:
+        if config.name not in todo:
+            continue
+        base = ExperimentSpec(
+            config=config, profile=profiles[config.profile_flavor],
+            mix=mix, clients=1, ramp_up=ramp_up, measure=measure,
+            ramp_down=ramp_down,
+            ssl_interactions=app.SSL_INTERACTIONS,
+            app_name=fig_spec.app_name)
+        for clients in grids[config.name]:
+            out.append((config.name, replace(base, clients=clients)))
+    return out
+
+
+def _canonical_spec(figure_id: str):
+    """The fixed single point used for the events/sec measurement."""
+    from repro.topology.configs import ALL_CONFIGURATIONS
+    labeled = build_bench_specs(figure_id)
+    # Prefer the plain-servlet flavor (the paper's middle-of-the-road
+    # stack); fall back to the first grid point.
+    for name, spec in labeled:
+        for config in ALL_CONFIGURATIONS:
+            if config.name == name and config.flavor == "servlet":
+                return spec
+    return labeled[0][1]
+
+
+def run_perf(figure_id: str = "fig05", jobs: Optional[int] = None,
+             out_path: Optional[str] = "BENCH_perf.json",
+             configurations: Optional[Tuple[str, ...]] = None) -> dict:
+    """Time the bench grid serially and in parallel; write the JSON."""
+    from repro.harness.experiment import run_experiment
+    from repro.harness.parallel import default_jobs, run_points
+
+    if jobs is None:
+        jobs = default_jobs()
+    labeled = build_bench_specs(figure_id, configurations)
+    specs = [spec for __, spec in labeled]
+
+    # Serial: the exact legacy path, one process, no pool.
+    t0 = time.perf_counter()
+    serial_points = [run_experiment(spec) for spec in specs]
+    serial_wall = time.perf_counter() - t0
+
+    # Parallel: same specs through the pool, merged in submission order.
+    t0 = time.perf_counter()
+    parallel_points = run_points(specs, jobs=jobs)
+    parallel_wall = time.perf_counter() - t0
+
+    identical = [asdict(p) for p in serial_points] == \
+        [asdict(p) for p in parallel_points]
+
+    # Single-process kernel rate on the canonical point.
+    single = _canonical_spec(figure_id)
+    t0 = time.perf_counter()
+    point = run_experiment(single)
+    single_wall = time.perf_counter() - t0
+    events_per_sec = point.kernel_events / single_wall if single_wall else 0.0
+
+    result = {
+        "generated_by": "python -m repro perf",
+        "figure": figure_id,
+        "configurations": list(dict.fromkeys(name for name, __ in labeled)),
+        "grid_points": len(specs),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "serial_wall_s": round(serial_wall, 3),
+        "parallel_wall_s": round(parallel_wall, 3),
+        "speedup": round(serial_wall / parallel_wall, 3)
+        if parallel_wall else None,
+        "parallel_identical_to_serial": identical,
+        "single_point": {
+            "config": single.config.name,
+            "clients": single.clients,
+            "wall_s": round(single_wall, 3),
+            "kernel_events": point.kernel_events,
+            "events_per_sec": round(events_per_sec),
+        },
+        "baseline": dict(PRE_PR_BASELINE),
+        "events_per_sec_vs_baseline": round(
+            events_per_sec / PRE_PR_BASELINE["events_per_sec"], 3),
+    }
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+    return result
+
+
+def render_perf(result: dict) -> str:
+    """One-screen summary of a :func:`run_perf` result."""
+    lines = [
+        f"perf: {result['figure']} bench grid "
+        f"({result['grid_points']} points)",
+        f"  cpu_count={result['cpu_count']}  jobs={result['jobs']}",
+        f"  serial   {result['serial_wall_s']:8.3f} s",
+        f"  parallel {result['parallel_wall_s']:8.3f} s   "
+        f"speedup {result['speedup']}x",
+        f"  parallel output identical to serial: "
+        f"{result['parallel_identical_to_serial']}",
+        f"  single point {result['single_point']['config']} "
+        f"@{result['single_point']['clients']}: "
+        f"{result['single_point']['events_per_sec']:,} events/s "
+        f"({result['events_per_sec_vs_baseline']}x of pre-PR baseline)",
+    ]
+    return "\n".join(lines)

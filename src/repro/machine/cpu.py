@@ -63,8 +63,11 @@ class Cpu:
             raise ValueError(f"negative CPU demand: {demand_seconds}")
         remaining = demand_seconds / self.speed
         while True:
-            ev = self._res.acquire()
-            if not ev.triggered:
+            # try_acquire() first: an idle core is the common case on
+            # every grid point below saturation, and it grants the slot
+            # without allocating an Event.
+            if not self._res.try_acquire():
+                ev = self._res.acquire()
                 try:
                     yield ev
                 except BaseException:

@@ -45,6 +45,10 @@ class ThroughputPoint:
     sync_lock_wait_per_interaction: float = 0.0
     # WIRT compliance report (set when the spec declares limits).
     wirt: Optional[object] = None
+    # Kernel events (process resumptions) the run consumed -- fully
+    # deterministic under pinned seeds; the perf harness divides by
+    # wall-clock for its events/sec figure.
+    kernel_events: int = 0
 
 
 @dataclass

@@ -38,8 +38,15 @@ class Nic:
         self.name = name
 
     def _hold(self, res: Resource, nbytes: int):
-        yield from safe_acquire(res)
+        # Uncontended channels are the common case: try_acquire() takes
+        # the slot without allocating an Event (or the safe_acquire
+        # generator frame); the queued path keeps full interrupt safety.
+        if not res.try_acquire():
+            yield from safe_acquire(res)
         try:
+            # Wire time is priced at transmission start, so a
+            # fault-injected bandwidth change never rewrites transfers
+            # already on the wire.
             yield (nbytes * 8.0) / self.bandwidth
         finally:
             res.release()
@@ -99,6 +106,12 @@ class Lan:
             raise ValueError(f"negative transfer size: {nbytes}")
         src_nic = self.nic_of(src.name)
         dst_nic = self.nic_of(dst.name)
-        yield from src_nic.transmit(nbytes)
+        # Calls _hold directly (bypassing the transmit/receive wrapper
+        # generators): every dynamic request crosses the wire at least
+        # twice, and the flattened chain saves two generator frames per
+        # message.
+        src_nic.bytes_sent += nbytes
+        yield from src_nic._hold(src_nic._tx, nbytes)
         yield self.latency
-        yield from dst_nic.receive(nbytes)
+        dst_nic.bytes_received += nbytes
+        yield from dst_nic._hold(dst_nic._rx, nbytes)

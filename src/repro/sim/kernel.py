@@ -154,16 +154,29 @@ class Delay:
 
 
 class Simulator:
-    """The event loop: owns virtual time, the heap, and the ready queue."""
+    """The event loop: owns virtual time, the heap, and the ready queue.
+
+    Heap entries are 4-tuples ``(time, seq, fn, proc)``: scheduled
+    callbacks carry ``fn`` (never cancelled), process timeouts carry
+    ``proc``.  Timeout cancellation is *lazy*: cancelling only clears
+    ``proc._timeout_key``, and the stale heap entry is skipped when it
+    eventually surfaces -- no set bookkeeping and no heap scans on the
+    hot path.
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_ready", "_nproc", "_current",
+                 "events_processed")
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list = []
         self._seq = 0
         self._ready: deque = deque()
-        self._cancelled: set[int] = set()
         self._nproc = 0
         self._current: Optional[Process] = None
+        # Count of process resumptions -- the kernel's unit of work,
+        # reported as events/sec by the perf harness.
+        self.events_processed = 0
 
     @property
     def current_process(self) -> Optional["Process"]:
@@ -178,7 +191,7 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, None, None))
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, None))
 
     def event(self) -> Event:
         """Create a fresh untriggered :class:`Event`."""
@@ -202,18 +215,18 @@ class Simulator:
         return proc
 
     def _schedule_timeout(self, delay: float, proc: Process) -> None:
-        self._seq += 1
-        key = self._seq
+        key = self._seq = self._seq + 1
         proc._waiting_on = "timeout"
         proc._timeout_key = key
-        heapq.heappush(self._heap, (self.now + delay, key, None, proc, None))
+        heapq.heappush(self._heap, (self.now + delay, key, None, proc))
 
     def _cancel_timeout(self, proc: Process) -> None:
-        if proc._timeout_key is not None:
-            self._cancelled.add(proc._timeout_key)
-            proc._timeout_key = None
+        # Lazy deletion: the heap entry stays put; clearing the key makes
+        # it stale, and the pop path skips it.
+        proc._timeout_key = None
 
     def _resume(self, proc: Process, value: Any, exc: Optional[BaseException]) -> None:
+        self.events_processed += 1
         gen = proc._gen
         prev = self._current
         self._current = proc
@@ -230,18 +243,34 @@ class Simulator:
         self._wait_on(proc, target)
 
     def _wait_on(self, proc: Process, target: Any) -> None:
-        if isinstance(target, (int, float)):
+        # Exact-type checks first: yields are overwhelmingly plain floats
+        # (service times) and Events, and ``type(x) is C`` beats
+        # isinstance() on this path.  The isinstance() fallbacks keep
+        # subclass and bool yields working.
+        tcls = type(target)
+        if tcls is float or tcls is int:
             self._schedule_timeout(target, proc)
-        elif isinstance(target, Delay):
-            self._schedule_timeout(target.seconds, proc)
-        elif isinstance(target, Event):
+        elif tcls is Event:
             if not target._subscribe(proc):
                 # Already triggered: resume with its value immediately.
+                self._ready.append((proc, target.value, None))
+        elif tcls is Process:
+            ev = target.done_event
+            if not ev._subscribe(proc):
+                self._ready.append((proc, ev.value, None))
+        elif tcls is Delay:
+            self._schedule_timeout(target.seconds, proc)
+        elif isinstance(target, (int, float)):
+            self._schedule_timeout(target, proc)
+        elif isinstance(target, Event):
+            if not target._subscribe(proc):
                 self._ready.append((proc, target.value, None))
         elif isinstance(target, Process):
             ev = target.done_event
             if not ev._subscribe(proc):
                 self._ready.append((proc, ev.value, None))
+        elif isinstance(target, Delay):
+            self._schedule_timeout(target.seconds, proc)
         else:
             raise SimulationError(f"process yielded unsupported value {target!r}")
 
@@ -249,30 +278,32 @@ class Simulator:
 
     def _drain_ready(self) -> None:
         ready = self._ready
+        popleft = ready.popleft
+        resume = self._resume
         while ready:
-            proc, value, exc = ready.popleft()
+            proc, value, exc = popleft()
             if not proc.finished:
-                self._resume(proc, value, exc)
+                resume(proc, value, exc)
 
     def step(self) -> bool:
         """Advance past the next timed entry.  Returns False when idle."""
         self._drain_ready()
         heap = self._heap
+        heappop = heapq.heappop
         while heap:
-            time, key, fn, proc, _ = heapq.heappop(heap)
-            if key in self._cancelled:
-                self._cancelled.discard(key)
-                continue
-            if proc is not None and (proc.finished or proc._timeout_key != key):
+            time, key, fn, proc = heappop(heap)
+            if proc is not None and proc._timeout_key != key:
                 # Stale timeout entry: the process was interrupted (its
-                # pending timeout cancelled) or has moved on to a newer
-                # wait.  Skipping it without advancing ``now`` keeps
+                # pending timeout cancelled lazily) or has moved on to a
+                # newer wait.  A finished process always has a cleared
+                # key, so this one test covers every stale case.
+                # Skipping it without advancing ``now`` keeps
                 # interrupt-during-timeout deterministic.
                 continue
             self.now = time
             if fn is not None:
                 fn()
-            elif proc is not None:
+            else:
                 proc._waiting_on = None
                 proc._timeout_key = None
                 self._resume(proc, None, None)
@@ -281,22 +312,44 @@ class Simulator:
         return False
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap empties or virtual time reaches ``until``."""
-        self._drain_ready()
+        """Run until the heap empties or virtual time reaches ``until``.
+
+        This is the simulator's hottest loop, so the step() logic is
+        inlined here with the heap, ready queue and bound methods held
+        in locals.
+        """
         heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        popleft = ready.popleft
+        resume = self._resume
+        if ready:
+            self._drain_ready()
         while heap:
             if until is not None and heap[0][0] > until:
                 self.now = until
                 return self.now
-            if not self.step():
-                break
+            time, key, fn, proc = heappop(heap)
+            if proc is not None and proc._timeout_key != key:
+                continue                       # stale (lazily cancelled)
+            self.now = time
+            if fn is not None:
+                fn()
+            else:
+                proc._waiting_on = None
+                proc._timeout_key = None
+                resume(proc, None, None)
+            while ready:
+                rproc, value, exc = popleft()
+                if not rproc.finished:
+                    resume(rproc, value, exc)
         if until is not None and self.now < until:
             self.now = until
         return self.now
 
     def quiescent(self) -> bool:
         """True when nothing is pending: an empty ready queue and no live
-        heap entries (cancelled/stale timeout entries don't count).
+        heap entries (lazily-cancelled/stale timeout entries don't count).
 
         This covers *scheduled* work only -- a process parked on an Event
         that nothing will ever trigger occupies neither queue, so the
@@ -305,13 +358,10 @@ class Simulator:
         """
         if self._ready:
             return False
-        for __, key, fn, proc, __unused in self._heap:
-            if key in self._cancelled:
-                continue
+        for __, key, fn, proc in self._heap:
             if fn is not None:
                 return False
-            if proc is not None and not proc.finished \
-                    and proc._timeout_key == key:
+            if proc is not None and proc._timeout_key == key:
                 return False
         return True
 

@@ -398,3 +398,63 @@ def test_left_join_where_filter_on_inner_value(db):
         "SELECT i.id, b.amount FROM items i "
         "LEFT JOIN bids b ON b.item_id = i.id WHERE b.amount > 90")
     assert all(row[1] > 90 for row in result.rows)
+
+
+# -- DDL plan-cache invalidation ----------------------------------------------
+
+def _access_kinds(db, sql):
+    """The access-path kinds EXPLAIN reports for ``sql``."""
+    return [row[2] for row in db.execute("EXPLAIN " + sql).rows]
+
+
+def test_plan_cache_replans_after_create_index(db):
+    """A cached plan must be re-planned once a usable index appears."""
+    sql = "SELECT id FROM items WHERE price = 5.0"
+    assert "scan" in _access_kinds(db, sql)
+    db.execute(sql)                               # caches the scan plan
+    cached = db._plan_cache[sql]
+    db.execute("CREATE INDEX idx_price ON items (price)")
+    assert sql not in db._plan_cache              # invalidated
+    db.execute(sql)
+    assert db._plan_cache[sql] is not cached      # freshly planned
+    assert "scan" not in _access_kinds(db, sql)   # now uses idx_price
+
+
+def test_plan_cache_replans_after_drop_index(db):
+    sql = "SELECT id FROM items WHERE category = 2"
+    assert "scan" not in _access_kinds(db, sql)   # idx_cat in play
+    db.execute(sql)
+    assert sql in db._plan_cache
+    db.execute("DROP INDEX idx_cat ON items")
+    assert sql not in db._plan_cache
+    # Re-planning falls back to a full scan and still answers correctly.
+    assert "scan" in _access_kinds(db, sql)
+    result = db.execute(sql)
+    assert sorted(row[0] for row in result.rows) == [2, 6, 10, 14, 18]
+
+
+def test_ddl_statements_are_never_plan_cached(db):
+    for sql in ("CREATE INDEX idx_q ON items (quantity)",
+                "DROP INDEX idx_q ON items"):
+        db.execute(sql)
+        assert sql not in db._plan_cache
+
+
+def test_drop_index_errors(db):
+    with pytest.raises(SqlError):
+        db.execute("DROP INDEX nonexistent ON items")
+    with pytest.raises(SqlError):
+        db.execute("DROP INDEX pk_items ON items")   # pk is protected
+    with pytest.raises(SqlError):
+        db.execute("DROP INDEX idx_cat ON missing_table")
+
+
+def test_drop_table_statement(db):
+    db.execute("CREATE TABLE scratch (id INT PRIMARY KEY, v INT)")
+    db.execute("INSERT INTO scratch (id, v) VALUES (1, 2)")
+    sql = "SELECT v FROM scratch WHERE id = 1"
+    assert db.execute(sql).scalar() == 2
+    db.execute("DROP TABLE scratch")
+    assert sql not in db._plan_cache
+    with pytest.raises(SqlError):
+        db.execute(sql)

@@ -421,3 +421,66 @@ def test_quiescent_reflects_pending_and_stale_work():
     assert not sim.quiescent()                    # real callback pending
     sim.run()
     assert sim.quiescent()
+
+
+def test_cancelled_timeout_leaves_no_live_heap_entry():
+    """Lazy deletion: interrupting a timed wait clears the process's
+    timeout key, so the stale heap entry is skipped without resuming
+    anyone and without perturbing virtual time ordering."""
+    sim = Simulator()
+    wakeups = []
+
+    def sleeper():
+        try:
+            yield 100.0
+        except Interrupt:
+            wakeups.append(("interrupt", sim.now))
+
+    proc = sim.spawn(sleeper())
+    sim.schedule(1.0, lambda: proc.interrupt())
+    sim.run(until=2.0)
+    assert wakeups == [("interrupt", 1.0)]
+    # The stale entry may still sit in the heap, but it is dead: no
+    # process claims its key, so the kernel reports quiescence.
+    assert proc._timeout_key is None
+    assert all(
+        entry[3] is None or entry[3]._timeout_key != entry[1]
+        for entry in sim._heap)
+    assert sim.quiescent()
+    # Draining past the stale entry's deadline must not resume anything.
+    before = sim.events_processed
+    sim.run(until=200.0)
+    assert sim.events_processed == before
+
+
+def test_new_timeout_after_interrupt_ignores_stale_entry():
+    """A process that re-sleeps after an interrupt gets a fresh key;
+    the old heap entry popping first must not wake it early."""
+    sim = Simulator()
+    trace = []
+
+    def sleeper():
+        try:
+            yield 50.0        # key A: deadline 50
+        except Interrupt:
+            trace.append(("interrupted", sim.now))
+        yield 100.0           # key B: deadline 101, after stale A pops
+        trace.append(("woke", sim.now))
+
+    proc = sim.spawn(sleeper())
+    sim.schedule(1.0, lambda: proc.interrupt())
+    sim.run()
+    assert trace == [("interrupted", 1.0), ("woke", 101.0)]
+
+
+def test_events_processed_counts_resumes():
+    sim = Simulator()
+
+    def proc():
+        yield 1.0
+        yield 1.0
+
+    sim.spawn(proc())
+    sim.run()
+    # Initial spawn resume plus two timeout wakeups.
+    assert sim.events_processed == 3
