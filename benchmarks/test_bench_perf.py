@@ -16,7 +16,7 @@ import json
 import os
 from pathlib import Path
 
-from repro.harness.perf import PRE_PR_BASELINE, run_perf, render_perf
+from repro.harness.perf import run_perf, render_perf
 
 # Two non-EJB configurations keep the bench grid to four points; the CLI
 # default (`python -m repro perf`) times the full six-configuration grid.
@@ -41,7 +41,10 @@ def test_bench_perf(benchmark):
                 "parallel_identical_to_serial", "single_point",
                 "baseline", "events_per_sec_vs_baseline"):
         assert key in on_disk
-    assert on_disk["baseline"] == PRE_PR_BASELINE
+    # The canonical fig05 point always has a baseline to compare against
+    # (the committed BENCH_perf.json, or the hard-coded pre-PR numbers).
+    assert on_disk["baseline"] and on_disk["baseline"]["events_per_sec"] > 0
+    assert on_disk["events_per_sec_vs_baseline"] is not None
 
     # Hard guarantee regardless of core count: parallel == serial.
     assert result["parallel_identical_to_serial"]

@@ -7,10 +7,12 @@ Public API overview
 
 Applications (functional layer)::
 
-    from repro import BookstoreApp, build_bookstore_database
-    app = BookstoreApp(build_bookstore_database(scale=0.01))
-    php = app.deploy_php()
+    from repro import build_app
+    app, php = build_app("bookstore", "php")
     response, trace = php.handle(HttpRequest("/best_sellers"))
+
+(the explicit spelling still works: ``BookstoreApp(
+build_bookstore_database(scale=0.01)).deploy_php()``)
 
 Performance experiments::
 
@@ -27,9 +29,17 @@ Figures::
     report = run_figure("fig05")
     print(report.render_throughput_table())
 
+Request-level tracing (where did the time go?)::
+
+    from repro.harness.experiment import run_experiment
+    from dataclasses import replace
+    point = run_experiment(replace(spec, trace=True))
+    print(point.bottleneck)               # e.g. "db cpu 98%"
+
 See README.md for the guided tour and DESIGN.md for the full inventory.
 """
 
+from repro.apps import ARCHITECTURES, BenchmarkApp, build_app
 from repro.apps.auction import AuctionApp, build_auction_database
 from repro.apps.bookstore import BookstoreApp, build_bookstore_database
 from repro.db import Database
@@ -55,7 +65,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AppProfile",
+    "ARCHITECTURES",
     "AuctionApp",
+    "BenchmarkApp",
     "BookstoreApp",
     "Configuration",
     "Database",
@@ -76,6 +88,7 @@ __all__ = [
     "WS_SEP_SERVLET_DB",
     "WS_SEP_SERVLET_DB_SYNC",
     "WS_SERVLET_EJB_DB",
+    "build_app",
     "build_auction_database",
     "build_bookstore_database",
     "profile_application",

@@ -3,8 +3,15 @@
 Commands
 --------
 figures              list the reproducible figures
+figure NN [--full] [--jobs N] [--trace] [--csv PATH]
+                     regenerate one figure by number ("6", "06" and
+                     "fig06" all work); ``--trace`` appends bottleneck
+                     attribution from request-level tracing
 run FIG [--full] [--jobs N]
-                     regenerate one figure (e.g. ``run fig05``)
+                     regenerate one figure (legacy spelling of ``figure``)
+trace FIG [...]      re-run figure points with request-level tracing;
+                     print bottleneck reports, optionally write Chrome
+                     trace JSON (see ``trace FIG --help``)
 calibrate            print analytic saturation points vs paper targets
 bboard [--full] [--jobs N]
                      run the bulletin-board extension experiment
@@ -31,17 +38,36 @@ def _cmd_figures(__args) -> int:
     for figure_id in sorted(FIGURES):
         spec, kind = FIGURES[figure_id]
         print(f"{figure_id}   {kind:<10}  {spec.app_name}/{spec.mix_name}")
-    print("\nrun one with:  python -m repro run fig05 [--full]")
+    print("\nrun one with:  python -m repro figure 5 [--full] [--trace]")
     return 0
 
 
-def _cmd_run(args) -> int:
-    from repro.experiments.registry import FIGURES, render_figure
-    if args.figure not in FIGURES:
+def _cmd_figure(args) -> int:
+    from repro.experiments.registry import (
+        FIGURES,
+        normalize_figure_id,
+        render_figure,
+        run_figure_spec,
+    )
+    try:
+        figure_id = normalize_figure_id(args.figure)
+    except KeyError:
         print(f"unknown figure {args.figure!r}; try 'python -m repro "
               f"figures'", file=sys.stderr)
         return 2
-    print(render_figure(args.figure, full=args.full, jobs=args.jobs))
+    print(render_figure(figure_id, full=args.full, jobs=args.jobs,
+                        trace=getattr(args, "trace", False)))
+    if getattr(args, "csv", None):
+        spec, __ = FIGURES[figure_id]
+        run_figure_spec(spec, full=args.full, jobs=args.jobs) \
+            .save_csv(args.csv)
+        print(f"\n[csv written to {args.csv}]")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.experiments.trace import main as trace_main
+    trace_main(args.trace_args)
     return 0
 
 
@@ -103,12 +129,37 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for the sweep (default: one per CPU, "
                  "honoring REPRO_JOBS; 1 = exact serial legacy path)")
 
-    run = sub.add_parser("run", help="regenerate one figure")
+    figure = sub.add_parser(
+        "figure", help="regenerate one figure by id or number")
+    figure.add_argument("figure",
+                        help="figure id: 6, 06 and fig06 all work")
+    figure.add_argument("--full", action="store_true",
+                        help="paper-scale grid")
+    figure.add_argument("--trace", action="store_true",
+                        help="re-run each configuration's peak with "
+                             "request tracing; append bottleneck "
+                             "attribution")
+    figure.add_argument("--csv", metavar="PATH",
+                        help="also write the sweep data as CSV")
+    add_jobs_argument(figure)
+    figure.set_defaults(func=_cmd_figure)
+
+    run = sub.add_parser("run",
+                         help="regenerate one figure (alias of 'figure')")
     run.add_argument("figure", help="figure id, e.g. fig05")
     run.add_argument("--full", action="store_true",
                      help="paper-scale grid")
     add_jobs_argument(run)
-    run.set_defaults(func=_cmd_run)
+    run.set_defaults(func=_cmd_figure)
+
+    trace = sub.add_parser(
+        "trace", help="re-run figure points with request-level tracing "
+                      "and print bottleneck attribution")
+    trace.add_argument("trace_args", nargs=argparse.REMAINDER,
+                       metavar="FIG [options]",
+                       help="arguments for the tracer; run 'python -m "
+                            "repro trace fig06 --help' for the full list")
+    trace.set_defaults(func=_cmd_trace)
 
     sub.add_parser("calibrate", help="analytic demands vs paper targets") \
         .set_defaults(func=_cmd_calibrate)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.apps.auction.datagen import populate_auction
 from repro.apps.auction.ejb_app import (
@@ -11,10 +11,8 @@ from repro.apps.auction.ejb_app import (
 )
 from repro.apps.auction.logic import INTERACTIONS, STATIC_INTERACTIONS
 from repro.apps.auction import mixes
+from repro.apps.base import BenchmarkApp
 from repro.db.engine import Database
-from repro.middleware.ejb import EjbContainer
-from repro.middleware.phpmod import PhpModule
-from repro.middleware.servlet import ServletEngine
 from repro.sim.rng import RngStreams
 from repro.web.static import StaticContentStore
 
@@ -32,56 +30,17 @@ def build_auction_database(scale: float = 0.002,
     return db
 
 
-class AuctionApp:
+class AuctionApp(BenchmarkApp):
     """One auction-site instance: shared pages + deployments."""
 
     name = "auction"
-    SSL_INTERACTIONS = frozenset()
-
-    def __init__(self, database: Database):
-        self.database = database
-
-    def shared_pages(self) -> Dict[str, object]:
-        return {f"/{name}": handler
-                for name, (handler, __) in INTERACTIONS.items()}
-
-    def deploy_php(self) -> PhpModule:
-        php = PhpModule(self.database)
-        php.register_app(self.shared_pages())
-        return php
-
-    def deploy_servlet(self, sync_locking: bool = False) -> ServletEngine:
-        engine = ServletEngine(self.database, sync_locking=sync_locking)
-        engine.register_app(self.shared_pages())
-        return engine
-
-    def deploy_ejb(self, store_mode: str = "field",
-                   load_mode: str = "field"):
-        container = EjbContainer(self.database, store_mode=store_mode,
-                                 load_mode=load_mode)
-        deploy_auction_beans(container)
-        presentation = ServletEngine(self.database, sync_locking=False)
-        presentation.register_app(ejb_presentation_pages(container))
-        return presentation, container
-
-    def make_state(self, rng) -> mixes.AuctionState:
-        return mixes.AuctionState.from_database(self.database, rng)
-
-    @staticmethod
-    def mix(name: str) -> Dict[str, float]:
-        try:
-            return mixes.MIXES[name]
-        except KeyError:
-            raise KeyError(f"unknown auction mix {name!r}; "
-                           f"have {sorted(mixes.MIXES)}") from None
-
-    @staticmethod
-    def make_request(name: str, rng, state):
-        return mixes.make_request(name, rng, state)
-
-    @staticmethod
-    def choose_interaction(mix: Dict[str, float], rng) -> str:
-        return mixes.choose_interaction(mix, rng)
+    INTERACTIONS = INTERACTIONS
+    STATIC_INTERACTIONS = STATIC_INTERACTIONS
+    MIXES = mixes.MIXES
+    STATE_CLASS = mixes.AuctionState
+    MAKE_REQUEST = staticmethod(mixes.make_request)
+    EJB_DEPLOYER = staticmethod(deploy_auction_beans)
+    EJB_PAGES = staticmethod(ejb_presentation_pages)
 
     def static_store(self) -> StaticContentStore:
         # eBay-style pages of the era: light navigation art on every
@@ -99,15 +58,3 @@ class AuctionApp:
         store.register_item_images("/images/auction", n_items,
                                    thumb_bytes=3_600, detail_bytes=44_000)
         return store
-
-    @staticmethod
-    def interaction_names() -> tuple:
-        return tuple(INTERACTIONS)
-
-    @staticmethod
-    def is_read_only(name: str) -> bool:
-        return INTERACTIONS[name][1]
-
-    @staticmethod
-    def is_static(name: str) -> bool:
-        return name in STATIC_INTERACTIONS

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
+from repro.apps.base import BenchmarkApp
 from repro.apps.bboard.datagen import populate_bboard
 from repro.apps.bboard.ejb_app import (
     deploy_bboard_beans,
@@ -12,9 +13,6 @@ from repro.apps.bboard.ejb_app import (
 from repro.apps.bboard.logic import INTERACTIONS, STATIC_INTERACTIONS
 from repro.apps.bboard import mixes
 from repro.db.engine import Database
-from repro.middleware.ejb import EjbContainer
-from repro.middleware.phpmod import PhpModule
-from repro.middleware.servlet import ServletEngine
 from repro.sim.rng import RngStreams
 from repro.web.static import StaticContentStore
 
@@ -28,57 +26,21 @@ def build_bboard_database(scale: float = 0.005,
     return db
 
 
-class BulletinBoardApp:
+class BulletinBoardApp(BenchmarkApp):
     """One bulletin-board instance: shared pages + deployments."""
 
     name = "bboard"
-    SSL_INTERACTIONS = frozenset()
-
-    def __init__(self, database: Database):
-        self.database = database
-
-    def shared_pages(self) -> Dict[str, object]:
-        return {f"/{name}": handler
-                for name, (handler, __) in INTERACTIONS.items()}
-
-    def deploy_php(self) -> PhpModule:
-        php = PhpModule(self.database)
-        php.register_app(self.shared_pages())
-        return php
-
-    def deploy_servlet(self, sync_locking: bool = False) -> ServletEngine:
-        engine = ServletEngine(self.database, sync_locking=sync_locking)
-        engine.register_app(self.shared_pages())
-        return engine
-
-    def deploy_ejb(self, store_mode: str = "field",
-                   load_mode: str = "row"):
-        container = EjbContainer(self.database, store_mode=store_mode,
-                                 load_mode=load_mode)
-        deploy_bboard_beans(container)
-        presentation = ServletEngine(self.database, sync_locking=False)
-        presentation.register_app(ejb_presentation_pages(container))
-        return presentation, container
-
-    def make_state(self, rng) -> mixes.BboardState:
-        return mixes.BboardState.from_database(self.database, rng)
-
-    @staticmethod
-    def mix(name: str) -> Dict[str, float]:
-        try:
-            return mixes.MIXES[name]
-        except KeyError:
-            raise KeyError(f"unknown bulletin-board mix {name!r}; "
-                           f"have {sorted(mixes.MIXES)}") from None
-
-    @staticmethod
-    def make_request(name: str, rng, state):
-        return mixes.make_request(name, rng, state)
-
-    @staticmethod
-    def choose_interaction(mix: Dict[str, float], rng) -> str:
-        from repro.workload.markov import choose_interaction
-        return choose_interaction(mix, rng)
+    MIX_LABEL = "bulletin-board"
+    INTERACTIONS = INTERACTIONS
+    STATIC_INTERACTIONS = STATIC_INTERACTIONS
+    MIXES = mixes.MIXES
+    STATE_CLASS = mixes.BboardState
+    MAKE_REQUEST = staticmethod(mixes.make_request)
+    EJB_DEPLOYER = staticmethod(deploy_bboard_beans)
+    EJB_PAGES = staticmethod(ejb_presentation_pages)
+    # Coarse row-granularity entity loads: the bulletin board's stories
+    # are read whole, unlike the bookstore/auction field-at-a-time beans.
+    EJB_LOAD_MODE = "row"
 
     def static_store(self) -> StaticContentStore:
         # Slashdot-style pages: text-heavy, light art.
@@ -87,15 +49,3 @@ class BulletinBoardApp:
         for name in ("home", "topics", "older", "submit"):
             store.register(f"/images/{name}.gif", 1_200)
         return store
-
-    @staticmethod
-    def interaction_names() -> tuple:
-        return tuple(INTERACTIONS)
-
-    @staticmethod
-    def is_read_only(name: str) -> bool:
-        return INTERACTIONS[name][1]
-
-    @staticmethod
-    def is_static(name: str) -> bool:
-        return name in STATIC_INTERACTIONS

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
+from repro.apps.base import BenchmarkApp
 from repro.apps.bookstore.datagen import populate_bookstore
 from repro.apps.bookstore.ejb_app import (
     deploy_bookstore_beans,
@@ -12,9 +13,6 @@ from repro.apps.bookstore.ejb_app import (
 from repro.apps.bookstore.logic import INTERACTIONS
 from repro.apps.bookstore import mixes
 from repro.db.engine import Database
-from repro.middleware.ejb import EjbContainer
-from repro.middleware.phpmod import PhpModule
-from repro.middleware.servlet import ServletEngine
 from repro.sim.rng import RngStreams
 from repro.web.static import StaticContentStore
 
@@ -32,7 +30,7 @@ def build_bookstore_database(scale: float = 0.01,
     return db
 
 
-class BookstoreApp:
+class BookstoreApp(BenchmarkApp):
     """One bookstore instance: shared pages + per-architecture deployment."""
 
     name = "bookstore"
@@ -40,59 +38,12 @@ class BookstoreApp:
     # the web server pays extra CPU for these (mod_ssl in the paper).
     SSL_INTERACTIONS = frozenset({
         "buy_request", "buy_confirm", "customer_registration"})
-
-    def __init__(self, database: Database):
-        self.database = database
-
-    # -- page tables ---------------------------------------------------------------
-
-    def shared_pages(self) -> Dict[str, object]:
-        """The hand-written-SQL pages used by both PHP and servlets."""
-        return {f"/{name}": handler
-                for name, (handler, __) in INTERACTIONS.items()}
-
-    # -- deployments ---------------------------------------------------------------
-
-    def deploy_php(self) -> PhpModule:
-        php = PhpModule(self.database)
-        php.register_app(self.shared_pages())
-        return php
-
-    def deploy_servlet(self, sync_locking: bool = False) -> ServletEngine:
-        engine = ServletEngine(self.database, sync_locking=sync_locking)
-        engine.register_app(self.shared_pages())
-        return engine
-
-    def deploy_ejb(self, store_mode: str = "field",
-                   load_mode: str = "field"):
-        """Returns (presentation ServletEngine, EjbContainer)."""
-        container = EjbContainer(self.database, store_mode=store_mode,
-                                 load_mode=load_mode)
-        deploy_bookstore_beans(container)
-        presentation = ServletEngine(self.database, sync_locking=False)
-        presentation.register_app(ejb_presentation_pages(container))
-        return presentation, container
-
-    # -- workload ------------------------------------------------------------------
-
-    def make_state(self, rng) -> mixes.BookstoreState:
-        return mixes.BookstoreState.from_database(self.database, rng)
-
-    @staticmethod
-    def mix(name: str) -> Dict[str, float]:
-        try:
-            return mixes.MIXES[name]
-        except KeyError:
-            raise KeyError(f"unknown bookstore mix {name!r}; "
-                           f"have {sorted(mixes.MIXES)}") from None
-
-    @staticmethod
-    def make_request(name: str, rng, state):
-        return mixes.make_request(name, rng, state)
-
-    @staticmethod
-    def choose_interaction(mix: Dict[str, float], rng) -> str:
-        return mixes.choose_interaction(mix, rng)
+    INTERACTIONS = INTERACTIONS
+    MIXES = mixes.MIXES
+    STATE_CLASS = mixes.BookstoreState
+    MAKE_REQUEST = staticmethod(mixes.make_request)
+    EJB_DEPLOYER = staticmethod(deploy_bookstore_beans)
+    EJB_PAGES = staticmethod(ejb_presentation_pages)
 
     def static_store(self) -> StaticContentStore:
         """Register the item image files on the web server."""
@@ -100,11 +51,3 @@ class BookstoreApp:
         store.register_item_images("/images/bookstore",
                                    len(self.database.table("items")))
         return store
-
-    @staticmethod
-    def interaction_names() -> tuple:
-        return tuple(INTERACTIONS)
-
-    @staticmethod
-    def is_read_only(name: str) -> bool:
-        return INTERACTIONS[name][1]

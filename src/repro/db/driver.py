@@ -58,6 +58,8 @@ class QueryRecord:
     tables_read: tuple
     tables_written: tuple
     lock_set: tuple = ()         # (table, mode) pairs for LOCK TABLES
+    origin: str = ""             # code site that issued it (see trace.py)
+    access: str = ""             # access-path summary, e.g. "items:index(5)"
 
 
 class Connection:
@@ -170,6 +172,7 @@ class RecordingConnection:
             tables_read=tuple(result.stats.tables_read),
             tables_written=tuple(result.stats.tables_written),
             lock_set=ast_locks,
+            access=result.stats.access_summary(),
         ))
         return result
 

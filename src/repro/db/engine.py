@@ -86,6 +86,9 @@ class Database:
         self._plan_cache: Dict[str, _Prepared] = {}
         self._planner = Planner(self.tables)
         self.queries_executed = 0
+        # Cumulative priced server-side CPU over all statements -- a
+        # cheap cross-check for trace-derived DB busy time.
+        self.priced_cpu_seconds = 0.0
 
     # -- catalog -----------------------------------------------------------------
 
@@ -223,6 +226,12 @@ class Database:
     def execute(self, sql: str, params: Sequence = (),
                 session: Optional[Session] = None) -> ResultSet:
         """Parse (cached), plan (cached), and run one statement."""
+        result = self._execute_statement(sql, params, session)
+        self.priced_cpu_seconds += result.cost.cpu_seconds
+        return result
+
+    def _execute_statement(self, sql: str, params: Sequence = (),
+                           session: Optional[Session] = None) -> ResultSet:
         prepared = self._prepare(sql)
         params = tuple(params)
         if len(params) != prepared.param_count:

@@ -50,6 +50,19 @@ class ExecStats:
         return sum(count for (table, __), count
                    in self.rows_examined_index.items() if table == table_name)
 
+    def access_summary(self) -> str:
+        """Compact access-path description, e.g. ``"items:index(5) authors:scan(100)"``.
+
+        Stamped onto QueryRecords so trace tooling can show *how* a
+        query touched its tables without re-planning the statement.
+        """
+        parts = []
+        for (table, __), count in sorted(self.rows_examined_index.items()):
+            parts.append(f"{table}:index({count})")
+        for table, count in sorted(self.rows_examined_scan.items()):
+            parts.append(f"{table}:scan({count})")
+        return " ".join(parts)
+
     def bump(self, path_kind: str, table_name: str, count: int = 1,
              lead_column: Optional[str] = None) -> None:
         if path_kind == "scan":

@@ -1,38 +1,31 @@
-"""Shared machinery for figure experiments: profile caches, grids, runs."""
+"""Shared machinery for figure experiments: profile caches, grids, runs.
+
+The declarative figure entries themselves (BOOKSTORE_SHOPPING, ...) live
+in :mod:`repro.experiments.registry`; this module holds the engine that
+interprets them.  The old spec-constant names are still importable from
+here for back compatibility (module ``__getattr__`` forwards them).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.apps.auction import AuctionApp, build_auction_database
-from repro.apps.bboard import BulletinBoardApp, build_bboard_database
-from repro.apps.bookstore import BookstoreApp, build_bookstore_database
+from repro.apps import build_app
 from repro.harness.experiment import ExperimentSpec, run_figure
 from repro.harness.profiles import AppProfile, profile_all_flavors
 from repro.metrics.report import ExperimentReport
 from repro.topology.configs import ALL_CONFIGURATIONS, Configuration
 
 # Profiles are expensive to capture (the EJB best-sellers walk in
-# particular), so they are cached per process.
+# particular), so they are cached per process.  Apps themselves are
+# cached inside repro.apps.build_app.
 _PROFILE_CACHE: Dict[str, Dict[str, AppProfile]] = {}
-_APP_CACHE: Dict[str, object] = {}
 _REPORT_CACHE: Dict[tuple, ExperimentReport] = {}
 
 
 def get_app(app_name: str):
-    app = _APP_CACHE.get(app_name)
-    if app is None:
-        if app_name == "bookstore":
-            app = BookstoreApp(build_bookstore_database())
-        elif app_name == "auction":
-            app = AuctionApp(build_auction_database())
-        elif app_name == "bboard":
-            app = BulletinBoardApp(build_bboard_database())
-        else:
-            raise KeyError(f"unknown application {app_name!r}")
-        _APP_CACHE[app_name] = app
-    return app
+    return build_app(app_name)
 
 
 def get_profiles(app_name: str, repetitions: int = 3) -> Dict[str, AppProfile]:
@@ -92,56 +85,6 @@ def _grids(main_quick, main_full, ejb_quick, ejb_full) -> Dict[str, tuple]:
     return grids
 
 
-BOOKSTORE_SHOPPING = FigureSpec(
-    throughput_figure="fig05", cpu_figure="fig06",
-    title="Online bookstore throughput (interactions/minute), shopping mix",
-    app_name="bookstore", mix_name="shopping",
-    grids=_grids((200, 600, 1400), (100, 200, 400, 600, 1000, 1400),
-                 (100, 350), (50, 100, 200, 350, 500)))
-
-BOOKSTORE_BROWSING = FigureSpec(
-    throughput_figure="fig07", cpu_figure="fig08",
-    title="Online bookstore throughput (interactions/minute), browsing mix",
-    app_name="bookstore", mix_name="browsing",
-    grids=_grids((150, 400, 1000), (75, 150, 300, 600, 1000, 1400),
-                 (60, 200), (30, 60, 120, 200, 300)))
-
-BOOKSTORE_ORDERING = FigureSpec(
-    throughput_figure="fig09", cpu_figure="fig10",
-    title="Online bookstore throughput (interactions/minute), ordering mix",
-    app_name="bookstore", mix_name="ordering",
-    grids=_grids((600, 1500, 3000), (300, 600, 1000, 1500, 2200, 3000),
-                 (150, 500), (75, 150, 300, 500, 800)))
-
-AUCTION_BIDDING = FigureSpec(
-    throughput_figure="fig11", cpu_figure="fig12",
-    title="Auction site throughput (interactions/minute), bidding mix",
-    app_name="auction", mix_name="bidding",
-    grids=_grids((400, 1100, 1600), (200, 400, 700, 1100, 1400, 1700),
-                 (200, 600), (100, 200, 350, 500, 700)))
-
-AUCTION_BROWSING = FigureSpec(
-    throughput_figure="fig13", cpu_figure="fig14",
-    title="Auction site throughput (interactions/minute), browsing mix",
-    app_name="auction", mix_name="browsing",
-    grids=_grids((800, 2500, 7000), (500, 1000, 2500, 5000, 8000, 12000),
-                 (200, 600), (100, 250, 400, 600)))
-
-ALL_FIGURE_SPECS = (BOOKSTORE_SHOPPING, BOOKSTORE_BROWSING,
-                    BOOKSTORE_ORDERING, AUCTION_BIDDING, AUCTION_BROWSING)
-
-# Extension (not a paper figure): the bulletin-board benchmark the paper
-# predicts would behave like the auction site.  Used by
-# repro.experiments.ext_bboard.
-BBOARD_SUBMISSION = FigureSpec(
-    throughput_figure="extB1", cpu_figure="extB2",
-    title="Bulletin board throughput (interactions/minute), submission mix "
-          "(extension)",
-    app_name="bboard", mix_name="submission",
-    grids=_grids((400, 1100, 1600), (200, 400, 700, 1100, 1400, 1700),
-                 (200, 600), (100, 200, 350, 500, 700)))
-
-
 def normalize_configurations(configurations: Optional[tuple]) \
         -> Optional[tuple]:
     """Sort + dedupe a configuration-name subset (None stays None).
@@ -154,23 +97,15 @@ def normalize_configurations(configurations: Optional[tuple]) \
     return tuple(sorted(set(configurations)))
 
 
-def run_figure_spec(spec: FigureSpec, full: bool = False,
-                    configurations: Optional[tuple] = None,
-                    phases: Optional[Phases] = None,
-                    seed: int = 42,
-                    jobs: Optional[int] = None) -> ExperimentReport:
-    """Run (or reuse) the sweep behind one figure pair.
+def build_figure_specs(spec: FigureSpec, full: bool = False,
+                       configurations: Optional[tuple] = None,
+                       phases: Optional[Phases] = None,
+                       seed: int = 42):
+    """Materialize one figure's (specs, client grids) per configuration.
 
-    ``jobs`` selects the sweep runner: None/1 is the serial legacy
-    path, > 1 fans the whole figure grid out over a process pool
-    (repro.harness.parallel).  Both produce bit-identical reports
-    under pinned seeds, so the cache key ignores ``jobs``.
+    Shared by :func:`run_figure_spec` and the tracing CLI, which needs
+    the per-configuration ExperimentSpec to re-run individual points.
     """
-    configurations = normalize_configurations(configurations)
-    cache_key = (spec.throughput_figure, full, configurations, phases, seed)
-    cached = _REPORT_CACHE.get(cache_key)
-    if cached is not None:
-        return cached
     app = get_app(spec.app_name)
     profiles = get_profiles(spec.app_name)
     mix = app.mix(spec.mix_name)
@@ -190,6 +125,29 @@ def run_figure_spec(spec: FigureSpec, full: bool = False,
             ssl_interactions=app.SSL_INTERACTIONS,
             app_name=spec.app_name)
         counts_by_config[config.name] = spec.grid_for(config.name, full)
+    return specs_by_config, counts_by_config
+
+
+def run_figure_spec(spec: FigureSpec, full: bool = False,
+                    configurations: Optional[tuple] = None,
+                    phases: Optional[Phases] = None,
+                    seed: int = 42,
+                    jobs: Optional[int] = None) -> ExperimentReport:
+    """Run (or reuse) the sweep behind one figure pair.
+
+    ``jobs`` selects the sweep runner: None/1 is the serial legacy
+    path, > 1 fans the whole figure grid out over a process pool
+    (repro.harness.parallel).  Both produce bit-identical reports
+    under pinned seeds, so the cache key ignores ``jobs``.
+    """
+    configurations = normalize_configurations(configurations)
+    cache_key = (spec.throughput_figure, full, configurations, phases, seed)
+    cached = _REPORT_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    specs_by_config, counts_by_config = build_figure_specs(
+        spec, full=full, configurations=configurations, phases=phases,
+        seed=seed)
     report = run_figure(
         title=spec.title,
         workload=f"{spec.app_name}/{spec.mix_name}",
@@ -201,6 +159,26 @@ def run_figure_spec(spec: FigureSpec, full: bool = False,
 
 def clear_caches() -> None:
     """Forget cached apps/profiles/reports (tests use this)."""
+    from repro.apps import clear_app_cache
     _PROFILE_CACHE.clear()
-    _APP_CACHE.clear()
     _REPORT_CACHE.clear()
+    clear_app_cache()
+
+
+# -- back compatibility --------------------------------------------------------
+#
+# The declarative spec constants moved to repro.experiments.registry;
+# importing them from here keeps working (lazily, so the two modules
+# can import each other without a cycle).
+
+_MOVED_TO_REGISTRY = ("BOOKSTORE_SHOPPING", "BOOKSTORE_BROWSING",
+                      "BOOKSTORE_ORDERING", "AUCTION_BIDDING",
+                      "AUCTION_BROWSING", "BBOARD_SUBMISSION",
+                      "ALL_FIGURE_SPECS")
+
+
+def __getattr__(name: str):
+    if name in _MOVED_TO_REGISTRY:
+        from repro.experiments import registry
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,19 +1,10 @@
 """Regenerate the bookstore CPU utilization at peak, shopping mix (Figure 6)."""
 
-from repro.experiments.registry import main, render_figure, run_figure
+from repro.experiments.registry import figure_shim, main
 
 FIGURE_ID = "fig06"
 
-
-def run(full: bool = False):
-    """Run the sweep and return the ExperimentReport."""
-    return run_figure(FIGURE_ID, full=full)
-
-
-def render(full: bool = False) -> str:
-    """The figure as printable text."""
-    return render_figure(FIGURE_ID, full=full)
-
+run, render = figure_shim(FIGURE_ID)
 
 if __name__ == "__main__":
     main(FIGURE_ID)

@@ -1,0 +1,150 @@
+"""Trace figure points and attribute their bottlenecks.
+
+``python -m repro trace <figure> [--config NAME] [--clients N]`` re-runs
+one or more points of a registered figure with request-level tracing
+(:mod:`repro.obs`) switched on, then prints each point's
+bottleneck-attribution report.  By default every configuration is
+traced at its *peak-throughput* client count -- the sweep behind the
+figure runs first (cached, optionally parallel) to find the peaks, and
+only the peak points are re-run serially with tracing.
+
+Optional artifacts: ``--chrome PATH`` writes the retained span trees as
+Chrome trace-event JSON (load in ``chrome://tracing`` / Perfetto), and
+``--flame`` prints a text flame summary of where virtual time went.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.experiments.common import build_figure_specs, run_figure_spec
+from repro.experiments.registry import FIGURES, normalize_figure_id
+from repro.harness.experiment import run_experiment
+from repro.metrics.report import ThroughputPoint
+from repro.obs import flame_summary, render_report, write_chrome_trace
+
+
+def trace_figure_point(figure_id: str, config_name: str,
+                       clients: Optional[int] = None,
+                       full: bool = False,
+                       jobs: Optional[int] = None) -> ThroughputPoint:
+    """Re-run one figure grid point with tracing on.
+
+    ``clients`` of None means the configuration's peak: the figure's
+    sweep is run (or fetched from the report cache) to find it.  The
+    traced re-run itself is always serial -- span aggregation lives in
+    the simulator process.  The returned point carries ``bottleneck``
+    (verdict string), ``bottleneck_report`` and ``tracer`` attributes.
+    """
+    figure_id = normalize_figure_id(figure_id)
+    spec, __ = FIGURES[figure_id]
+    specs_by_config, counts = build_figure_specs(spec, full=full)
+    if config_name not in specs_by_config:
+        raise KeyError(f"unknown configuration {config_name!r}; "
+                       f"have {sorted(specs_by_config)}")
+    if clients is None:
+        report = run_figure_spec(spec, full=full, jobs=jobs)
+        clients = report.series[config_name].peak().clients
+    base = specs_by_config[config_name]
+    return run_experiment(replace(base, clients=clients, trace=True))
+
+
+def trace_figure_peaks(figure_id: str, full: bool = False,
+                       jobs: Optional[int] = None,
+                       configurations: Optional[tuple] = None) \
+        -> Dict[str, ThroughputPoint]:
+    """Trace every configuration of a figure at its peak point."""
+    figure_id = normalize_figure_id(figure_id)
+    spec, __ = FIGURES[figure_id]
+    report = run_figure_spec(spec, full=full, jobs=jobs)
+    out: Dict[str, ThroughputPoint] = {}
+    for config_name in report.series:
+        if configurations and config_name not in configurations:
+            continue
+        out[config_name] = trace_figure_point(
+            figure_id, config_name, full=full, jobs=jobs)
+    return out
+
+
+def render_figure_bottlenecks(figure_id: str, full: bool = False,
+                              jobs: Optional[int] = None) -> str:
+    """Bottleneck-attribution text for every configuration's peak.
+
+    This is what ``--trace`` on the figure CLI appends below the
+    throughput/CPU table.
+    """
+    points = trace_figure_peaks(figure_id, full=full, jobs=jobs)
+    lines = [f"bottleneck attribution at peak throughput "
+             f"({normalize_figure_id(figure_id)})"]
+    for config_name, point in points.items():
+        lines.append("")
+        lines.append(render_report(point.bottleneck_report))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Re-run figure points with request-level tracing and "
+                    "print bottleneck attribution.")
+    parser.add_argument("figure",
+                        help="figure id (5, 05, fig05 ... accepted)")
+    parser.add_argument("--config", action="append", default=None,
+                        metavar="NAME",
+                        help="configuration to trace (repeatable; "
+                             "default: all six)")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="client count to trace (default: each "
+                             "configuration's peak)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale client grid and phase durations")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the untraced peak-"
+                             "finding sweep (default: serial; 0 = one "
+                             "per CPU)")
+    parser.add_argument("--chrome", metavar="PATH",
+                        help="write retained span trees as Chrome "
+                             "trace-event JSON")
+    parser.add_argument("--flame", action="store_true",
+                        help="also print a flame summary (where virtual "
+                             "time went, by span path)")
+    args = parser.parse_args(argv)
+
+    figure_id = normalize_figure_id(args.figure)
+    spec, __ = FIGURES[figure_id]
+    configurations = tuple(args.config) if args.config else None
+    if args.clients is not None:
+        names = configurations
+        if names is None:
+            specs_by_config, __counts = build_figure_specs(
+                spec, full=args.full)
+            names = tuple(specs_by_config)
+        points = {name: trace_figure_point(figure_id, name,
+                                           clients=args.clients,
+                                           full=args.full, jobs=args.jobs)
+                  for name in names}
+    else:
+        points = trace_figure_peaks(figure_id, full=args.full,
+                                    jobs=args.jobs,
+                                    configurations=configurations)
+
+    for i, (config_name, point) in enumerate(points.items()):
+        if i:
+            print()
+        print(render_report(point.bottleneck_report))
+        if args.flame:
+            print()
+            print(flame_summary(point.tracer.requests))
+
+    if args.chrome:
+        # One file; when several configurations were traced the last one
+        # wins (a merged export would interleave unrelated runs).
+        last = list(points.values())[-1]
+        n = write_chrome_trace(last.tracer, args.chrome)
+        print(f"\n[chrome trace: {n} events -> {args.chrome}]")
+
+
+if __name__ == "__main__":
+    main()

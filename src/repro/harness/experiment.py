@@ -60,6 +60,11 @@ class ExperimentSpec:
     # parallel runner ships specs without the (large) profile and
     # rehydrates it from each worker's cache (repro.harness.parallel).
     app_name: Optional[str] = None
+    # Request-level tracing (repro.obs).  Off by default: the simulation
+    # then runs the exact untraced hot path.  When on, the returned
+    # point carries a ``bottleneck`` verdict and a ``tracer`` attribute
+    # holding the full span aggregates.
+    trace: bool = False
 
     def scaled(self, factor: float) -> "ExperimentSpec":
         """Shrink/grow phase durations (benches use factor < 1)."""
@@ -75,6 +80,12 @@ def run_experiment(spec: ExperimentSpec) -> ThroughputPoint:
                          ssl_interactions=spec.ssl_interactions,
                          costs=spec.sim_costs or SimCosts(),
                          web_config=spec.web_config)
+    tracer = None
+    if spec.trace:
+        from repro.obs import Tracer
+        tracer = Tracer(sim, window=(spec.ramp_up,
+                                     spec.ramp_up + spec.measure))
+        sim.tracer = tracer
     rng = RngStreams(spec.seed)
     population = ClientPopulation(
         sim, spec.clients, spec.mix, site, rng, choose_interaction,
@@ -125,6 +136,21 @@ def run_experiment(spec: ExperimentSpec) -> ThroughputPoint:
     if spec.wirt_limits is not None:
         from repro.metrics.wirt import evaluate_wirt
         point.wirt = evaluate_wirt(stats, spec.wirt_limits)
+    if tracer is not None:
+        from repro.obs import build_report
+        tracer.finalize()
+        nic = site.web.nic
+        nic_util = (point.web_nic_tx_mbps * 1e6) / nic.base_bandwidth
+        bottleneck = build_report(
+            tracer, configuration=spec.config.name,
+            interaction_mix=spec.app_name or spec.profile.app_name,
+            clients=spec.clients, web_nic_utilization=nic_util)
+        point.bottleneck = bottleneck.bottleneck
+        # Undeclared attributes: asdict()-based equality checks between
+        # serial and parallel runs ignore them, and they never cross the
+        # process pool (tracing runs serially).
+        point.tracer = tracer
+        point.bottleneck_report = bottleneck
     return point
 
 

@@ -79,19 +79,17 @@ def effective_jobs(jobs: Optional[int], ntasks: int) -> int:
 def _warm_worker(app_names: Tuple[str, ...]) -> None:
     """Pool initializer: pre-load apps, databases and profiles once per
     worker so every task after the first touches only warm caches."""
-    from repro.experiments.common import get_app, get_profiles
+    from repro.apps import build_app
+    from repro.experiments.common import get_profiles
     for name in app_names:
-        get_app(name)
+        build_app(name)
         get_profiles(name)
 
 
 def _warm_parent(app_names: Iterable[str]) -> None:
     """Warm the parent's caches before forking, so fork children inherit
     populated caches and the initializer becomes a no-op."""
-    from repro.experiments.common import get_app, get_profiles
-    for name in app_names:
-        get_app(name)
-        get_profiles(name)
+    _warm_worker(tuple(app_names))
 
 
 def parallel_map(func: Callable, tasks: Sequence, jobs: Optional[int] = None,

@@ -48,6 +48,11 @@ class InteractionVariant:
     query_count: int
     db_cpu_seconds: float
     ok: bool
+    # Parallel to ``steps``: the code-site label ("php:/order.php",
+    # "Cart.checkOut", ...) each step came from.  Consumed only by the
+    # tracing layer for lock-site attribution; empty for profiles built
+    # before labels existed.
+    step_labels: Tuple[str, ...] = ()
 
     @property
     def total_reply_bytes(self) -> int:
@@ -122,6 +127,7 @@ def compile_trace(trace: InteractionTrace, wire_overhead: int,
     timing is the experiment).
     """
     steps: List[tuple] = []
+    labels: List[str] = []           # parallel code-site label per step
     db_cpu = 0.0
     query_count = 0
     pending: Optional[list] = None   # accumulating read-only batch
@@ -131,6 +137,7 @@ def compile_trace(trace: InteractionTrace, wire_overhead: int,
         if pending is not None:
             steps.append(("query", pending[0], pending[1], pending[2],
                           tuple(sorted(pending[3])), (), pending[4]))
+            labels.append(pending[5])
             pending = None
 
     for step in trace.steps:
@@ -139,10 +146,12 @@ def compile_trace(trace: InteractionTrace, wire_overhead: int,
             if record.kind == "lock":
                 flush()
                 steps.append(("lock", record.lock_set))
+                labels.append(step.origin)
                 db_cpu += record.cpu_seconds
             elif record.kind == "unlock":
                 flush()
                 steps.append(("unlock",))
+                labels.append(step.origin)
                 db_cpu += record.cpu_seconds
             else:
                 request_bytes = len(record.sql) + 40 + wire_overhead
@@ -155,9 +164,11 @@ def compile_trace(trace: InteractionTrace, wire_overhead: int,
                         "query", record.cpu_seconds, request_bytes,
                         reply_bytes, record.tables_read,
                         record.tables_written, 1))
+                    labels.append(step.origin)
                 elif pending is None:
                     pending = [record.cpu_seconds, request_bytes,
-                               reply_bytes, set(record.tables_read), 1]
+                               reply_bytes, set(record.tables_read), 1,
+                               step.origin]
                 else:
                     pending[0] += record.cpu_seconds
                     pending[1] += request_bytes
@@ -179,17 +190,21 @@ def compile_trace(trace: InteractionTrace, wire_overhead: int,
                                                    len(placeholders))
                     entries.append((table, slot, mode))
             steps.append(("sync_acquire", tuple(entries)))
+            labels.append(step.origin)
         elif step.kind == "sync_release":
             flush()
             steps.append(("sync_release", step.payload))
+            labels.append(step.origin)
         elif step.kind == "rmi_call":
             flush()
             method, request_bytes, reply_bytes = step.payload
             steps.append(("rmi", request_bytes, reply_bytes))
+            labels.append(step.origin or method)
         elif step.kind == "ejb_work":
             flush()
             loads, stores, fields = step.payload
             steps.append(("ejb_work", loads, stores, fields))
+            labels.append(step.origin)
     flush()
 
     response = trace.response
@@ -205,7 +220,8 @@ def compile_trace(trace: InteractionTrace, wire_overhead: int,
         steps=tuple(steps), response_bytes=response_bytes,
         image_count=len(images), image_bytes=image_bytes,
         query_count=query_count, db_cpu_seconds=db_cpu,
-        ok=response.ok() if response else False)
+        ok=response.ok() if response else False,
+        step_labels=tuple(labels))
 
 
 def profile_application(app, deployment, flavor: str,
@@ -248,20 +264,17 @@ def profile_all_flavors(app, repetitions: int = 5, seed: int = 101,
     Each flavor gets its own deployment over the app's (shared) database;
     writes from profiling accumulate, which mirrors a warmed system.
     """
+    from repro.apps.base import ARCHITECTURES
     store = app.static_store()
     out: Dict[str, AppProfile] = {}
     # One seed for every flavor: identical parameter draws keep the
     # flavors' profiles comparable (the paper's configurations serve the
     # same workload).
-    out["php"] = profile_application(
-        app, app.deploy_php(), "php", repetitions, seed, store)
-    out["servlet"] = profile_application(
-        app, app.deploy_servlet(sync_locking=False), "servlet",
-        repetitions, seed, store)
-    out["servlet_sync"] = profile_application(
-        app, app.deploy_servlet(sync_locking=True), "servlet_sync",
-        repetitions, seed, store)
-    presentation, __container = app.deploy_ejb(store_mode=store_mode)
-    out["ejb"] = profile_application(
-        app, presentation, "ejb", repetitions, seed, store)
+    for flavor in ARCHITECTURES:
+        kwargs = {"store_mode": store_mode} if flavor == "ejb" else {}
+        deployment = app.deploy(flavor, **kwargs)
+        if flavor == "ejb":
+            deployment, __container = deployment
+        out[flavor] = profile_application(
+            app, deployment, flavor, repetitions, seed, store)
     return out

@@ -58,7 +58,29 @@ class Cpu:
         quantum if longer.
 
         Usage: ``yield from cpu.execute(0.005)``.
+
+        With a tracer attached to the simulator and a request in flight,
+        the execution is wrapped in a cpu span whose ``demand`` metadata
+        carries the deterministic execution time (demand/speed); the
+        span's wall time additionally includes run-queue waits, so
+        attribution can split service time from CPU queueing.
         """
+        tracer = self.sim.tracer
+        if tracer is not None:
+            rc = tracer.current()
+            if rc is not None:
+                return self._execute_traced(demand_seconds, rc)
+        return self._execute(demand_seconds)
+
+    def _execute_traced(self, demand_seconds: float, rc):
+        span = rc.push(self.name, "cpu", self.name.rsplit(".", 1)[0],
+                       meta={"demand": demand_seconds / self.speed})
+        try:
+            yield from self._execute(demand_seconds)
+        finally:
+            rc.pop(span)
+
+    def _execute(self, demand_seconds: float):
         if demand_seconds < 0:
             raise ValueError(f"negative CPU demand: {demand_seconds}")
         remaining = demand_seconds / self.speed

@@ -49,6 +49,10 @@ class ThroughputPoint:
     # deterministic under pinned seeds; the perf harness divides by
     # wall-clock for its events/sec figure.
     kernel_events: int = 0
+    # Trace-derived bottleneck verdict (e.g. "db cpu 98%"); None unless
+    # the run was traced (repro.obs).  Traced points additionally carry
+    # undeclared ``tracer`` / ``bottleneck_report`` attributes.
+    bottleneck: Optional[str] = None
 
 
 @dataclass

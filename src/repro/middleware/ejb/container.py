@@ -155,7 +155,8 @@ class EjbContainer:
                     "ejb_work",
                     (self.entity_loads - loads0,
                      self.entity_stores - stores0,
-                     self.field_accesses - fields0)))
+                     self.field_accesses - fields0),
+                    origin=self._trace.origin))
         finally:
             self._tx_depth = 0
             self._identity.clear()

@@ -103,11 +103,18 @@ class RmiStub:
             request_bytes = (self._costs.request_overhead_bytes +
                              estimate_serialized_bytes(args) +
                              estimate_serialized_bytes(kwargs))
-            with self._container.transaction(trace=self._trace_sink):
-                result = method(*args, **kwargs)
+            sink = self._trace_sink
+            origin = f"{type(self._bean).__name__}.{name}"
+            if sink is not None:
+                sink.push_origin(origin)
+            try:
+                with self._container.transaction(trace=sink):
+                    result = method(*args, **kwargs)
+            finally:
+                if sink is not None:
+                    sink.pop_origin()
             reply_bytes = (self._costs.reply_overhead_bytes +
                            estimate_serialized_bytes(result))
-            sink = self._trace_sink
             if sink is not None:
                 sink.add_rmi_call(name, request_bytes, reply_bytes)
             return result

@@ -78,9 +78,11 @@ class PhpModule:
         conn = self.driver.connect()
         ctx = AppContext(request, conn, policy=LockingPolicy.DB_LOCKS,
                          trace=trace)
+        trace.push_origin(f"php:{request.path}")
         try:
             response = script.handler(ctx)
         finally:
+            trace.pop_origin()
             conn.close()
         if trace.response is None:
             trace.response = response

@@ -86,9 +86,11 @@ class ServletEngine:
         ctx = AppContext(request, conn, policy=self.policy,
                          sync_registry=self.sync_registry, trace=trace,
                          http_session=session)
+        trace.push_origin(f"servlet:{request.path}")
         try:
             response = servlet.service(ctx)
         finally:
+            trace.pop_origin()
             self.pool.release(conn)
         if trace.response is None:
             trace.response = response

@@ -24,10 +24,15 @@ class TraceStep:
       "sync_acquire" -- payload is ((name, mode), ...) container locks
       "sync_release" -- payload is (name, ...)
       "rmi_call"     -- payload is (method_name, request_bytes, reply_bytes)
+
+    ``origin`` names the code site that produced the step (e.g.
+    "php:/order.php" or "Cart.checkOut") -- the attribution layer uses
+    it to label lock-wait sites in bottleneck reports.
     """
 
     kind: str
     payload: object
+    origin: str = ""
 
 
 @dataclass
@@ -35,20 +40,40 @@ class InteractionTrace:
     steps: List[TraceStep] = field(default_factory=list)
     response: Optional[HttpResponse] = None
     interaction: str = ""
+    # Stack of code-site labels; the middleware pushes one per
+    # script/servlet/bean-method so every recorded step knows where it
+    # came from.  The top of the stack is stamped onto new steps.
+    origin_stack: List[str] = field(default_factory=list)
+
+    @property
+    def origin(self) -> str:
+        return self.origin_stack[-1] if self.origin_stack else ""
+
+    def push_origin(self, label: str) -> None:
+        self.origin_stack.append(label)
+
+    def pop_origin(self) -> None:
+        if self.origin_stack:
+            self.origin_stack.pop()
 
     def add_query(self, record: QueryRecord) -> None:
-        self.steps.append(TraceStep("query", record))
+        if not record.origin:
+            record.origin = self.origin
+        self.steps.append(TraceStep("query", record, origin=record.origin))
 
     def add_sync_acquire(self, locks: Tuple[Tuple[str, str], ...]) -> None:
-        self.steps.append(TraceStep("sync_acquire", locks))
+        self.steps.append(TraceStep("sync_acquire", locks,
+                                    origin=self.origin))
 
     def add_sync_release(self, names: Tuple[str, ...]) -> None:
-        self.steps.append(TraceStep("sync_release", names))
+        self.steps.append(TraceStep("sync_release", names,
+                                    origin=self.origin))
 
     def add_rmi_call(self, method: str, request_bytes: int,
                      reply_bytes: int) -> None:
         self.steps.append(TraceStep("rmi_call",
-                                    (method, request_bytes, reply_bytes)))
+                                    (method, request_bytes, reply_bytes),
+                                    origin=self.origin))
 
     # -- inspection helpers (used heavily by tests) ------------------------------
 

@@ -99,11 +99,31 @@ class Lan:
 
         Co-located endpoints (same machine) cost nothing on the wire --
         that is PHP's structural advantage over the servlet engine.
+
+        With a tracer attached and a request in flight the transfer is
+        recorded as one net span (channel occupancy on both NICs plus
+        switch latency); virtual-time behaviour is identical either way.
         """
         if src.name == dst.name:
-            return
+            return _EMPTY_TRANSFER
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            rc = tracer.current()
+            if rc is not None:
+                return self._transfer_traced(src, dst, nbytes, rc)
+        return self._transfer(src, dst, nbytes)
+
+    def _transfer_traced(self, src, dst, nbytes: int, rc):
+        span = rc.push(f"net:{src.name}->{dst.name}", "net", "net",
+                       meta={"bytes": nbytes})
+        try:
+            yield from self._transfer(src, dst, nbytes)
+        finally:
+            rc.pop(span)
+
+    def _transfer(self, src, dst, nbytes: int):
         src_nic = self.nic_of(src.name)
         dst_nic = self.nic_of(dst.name)
         # Calls _hold directly (bypassing the transmit/receive wrapper
@@ -115,3 +135,16 @@ class Lan:
         yield self.latency
         dst_nic.bytes_received += nbytes
         yield from dst_nic._hold(dst_nic._rx, nbytes)
+
+
+# ``yield from`` over an exhausted iterator costs one next() call; using
+# a shared empty tuple iterator keeps the co-located fast path free of a
+# per-call generator frame.
+class _EmptyTransfer:
+    __slots__ = ()
+
+    def __iter__(self):
+        return iter(())
+
+
+_EMPTY_TRANSFER = _EmptyTransfer()

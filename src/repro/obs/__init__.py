@@ -1,0 +1,34 @@
+"""repro.obs: request-level tracing & bottleneck attribution.
+
+Span trees in simulated time (:mod:`repro.obs.spans`), attribution
+reports (:mod:`repro.obs.attribution`), and exporters
+(:mod:`repro.obs.export`: Chrome trace JSON + flame summaries).
+"""
+
+from repro.obs.attribution import (
+    BottleneckReport,
+    LockSite,
+    build_report,
+    render_report,
+)
+from repro.obs.export import (
+    chrome_trace,
+    flame_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.spans import RequestTrace, Span, Tracer
+
+__all__ = [
+    "BottleneckReport",
+    "LockSite",
+    "RequestTrace",
+    "Span",
+    "Tracer",
+    "build_report",
+    "chrome_trace",
+    "flame_summary",
+    "render_report",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,190 @@
+"""Bottleneck attribution: turn span aggregates into "who limits us".
+
+The paper's headline results are bottleneck identifications (DB CPU for
+the sync bookstore configurations, the web tier for the auction site,
+the EJB server for Ws-Servlet-EJB-DB); this module derives the same
+statements from traced runs instead of asserting them.  A
+:class:`BottleneckReport` carries:
+
+* per-tier CPU busy fractions over the measurement window (trace-derived,
+  cross-checked against the sysstat sampler by the test suite);
+* a time-weighted breakdown of where requests spend their time, per
+  (tier, resource-category) pair;
+* the top lock-wait sites (lock name + the code origin that takes it);
+* critical-path shares per category (requests are sequential processes,
+  so per-category exclusive time sums to the request wall time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.spans import Tracer
+
+# A tier is "saturated" past this busy fraction; the paper reads its
+# sysstat plots the same way (Figure 6's "100%" database is ~0.95+).
+SATURATION = 0.90
+# A tier whose NIC runs past this share of line rate is network-bound
+# (the auction browsing mix with dedicated servlet machines, ~94 Mb/s).
+NIC_SATURATION = 0.85
+# Below CPU/NIC saturation, lock waits dominate once they exceed this
+# share of the mean request's critical path.
+LOCK_DOMINANCE = 0.35
+
+
+@dataclass
+class LockSite:
+    """One lock's aggregate wait, attributed to the code that takes it."""
+
+    lock: str                  # e.g. "db.orders WRITE", "sync.carts#1842"
+    origin: str                # e.g. "php:/buy_confirm", "Cart.add"
+    count: int
+    wait_seconds: float
+
+
+@dataclass
+class BottleneckReport:
+    """Everything derived from one traced figure point."""
+
+    configuration: str
+    interaction_mix: str
+    clients: int
+    window: Optional[Tuple[float, float]]
+    busy: Dict[str, float] = field(default_factory=dict)   # tier -> fraction
+    breakdown: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    n_requests: int = 0
+    mean_request_seconds: float = 0.0
+    lock_sites: List[LockSite] = field(default_factory=list)
+    web_nic_utilization: Optional[float] = None
+    # The verdict: kind in {"cpu", "network", "db-locks", "sync-locks",
+    # "unsaturated"}, tier names the limiting machine, share quantifies it.
+    bottleneck_kind: str = "unsaturated"
+    bottleneck_tier: str = "-"
+    bottleneck_share: float = 0.0
+
+    @property
+    def bottleneck(self) -> str:
+        """Compact human-readable verdict, e.g. ``db cpu 98%``."""
+        if self.bottleneck_kind == "cpu":
+            return (f"{self.bottleneck_tier} cpu "
+                    f"{100 * self.bottleneck_share:.0f}%")
+        if self.bottleneck_kind == "network":
+            return (f"{self.bottleneck_tier} nic "
+                    f"{100 * self.bottleneck_share:.0f}%")
+        if self.bottleneck_kind in ("db-locks", "sync-locks"):
+            return (f"{self.bottleneck_kind} "
+                    f"{100 * self.bottleneck_share:.0f}% of request time")
+        return (f"unsaturated (max {self.bottleneck_tier} cpu "
+                f"{100 * self.bottleneck_share:.0f}%)")
+
+    def critical_path_shares(self) -> Dict[Tuple[str, str], float]:
+        """Each (tier, category)'s share of total request time."""
+        total = sum(self.breakdown.values())
+        if total <= 0.0:
+            return {}
+        return {key: value / total
+                for key, value in sorted(self.breakdown.items(),
+                                         key=lambda kv: -kv[1])}
+
+    def lock_wait_share(self, prefix: str) -> float:
+        """Share of total request time spent waiting on locks whose name
+        starts with ``prefix`` ("db." or "sync.")."""
+        total_request = self.n_requests * self.mean_request_seconds
+        if total_request <= 0.0:
+            return 0.0
+        waited = sum(site.wait_seconds for site in self.lock_sites
+                     if site.lock.startswith(prefix))
+        return waited / total_request
+
+
+def build_report(tracer: Tracer, configuration: str = "",
+                 interaction_mix: str = "", clients: int = 0,
+                 web_nic_utilization: Optional[float] = None) \
+        -> BottleneckReport:
+    """Aggregate one traced run into a :class:`BottleneckReport`."""
+    duration = tracer.window_duration()
+    busy = {}
+    if duration:
+        busy = {tier: seconds / duration
+                for tier, seconds in tracer.busy.items()
+                if tier != "clients"}
+    sites = [LockSite(lock=name, origin=origin, count=entry[0],
+                      wait_seconds=entry[1])
+             for (name, origin), entry in tracer.lock_sites.items()]
+    sites.sort(key=lambda s: -s.wait_seconds)
+    mean_request = (tracer.request_seconds / tracer.n_requests
+                    if tracer.n_requests else 0.0)
+    report = BottleneckReport(
+        configuration=configuration, interaction_mix=interaction_mix,
+        clients=clients, window=tracer.window, busy=busy,
+        breakdown=dict(tracer.breakdown), n_requests=tracer.n_requests,
+        mean_request_seconds=mean_request, lock_sites=sites,
+        web_nic_utilization=web_nic_utilization)
+    _identify(report)
+    return report
+
+
+def _identify(report: BottleneckReport) -> None:
+    """Decide the bottleneck; mirrors how the paper reads its plots."""
+    busiest_tier, busiest = "-", 0.0
+    for tier, fraction in report.busy.items():
+        if fraction > busiest:
+            busiest_tier, busiest = tier, fraction
+    if busiest >= SATURATION:
+        report.bottleneck_kind = "cpu"
+        report.bottleneck_tier = busiest_tier
+        report.bottleneck_share = busiest
+        return
+    nic = report.web_nic_utilization
+    if nic is not None and nic >= NIC_SATURATION:
+        report.bottleneck_kind = "network"
+        report.bottleneck_tier = "web"
+        report.bottleneck_share = nic
+        return
+    db_lock_share = report.lock_wait_share("db.")
+    sync_lock_share = report.lock_wait_share("sync.")
+    if max(db_lock_share, sync_lock_share) >= LOCK_DOMINANCE:
+        if db_lock_share >= sync_lock_share:
+            report.bottleneck_kind = "db-locks"
+            report.bottleneck_tier = "db"
+            report.bottleneck_share = db_lock_share
+        else:
+            report.bottleneck_kind = "sync-locks"
+            report.bottleneck_tier = "container"
+            report.bottleneck_share = sync_lock_share
+        return
+    report.bottleneck_kind = "unsaturated"
+    report.bottleneck_tier = busiest_tier
+    report.bottleneck_share = busiest
+
+
+def render_report(report: BottleneckReport, top_locks: int = 8,
+                  top_paths: int = 10) -> str:
+    """One traced point as readable text."""
+    lines = [f"{report.configuration} @{report.clients} clients "
+             f"({report.interaction_mix})",
+             f"  bottleneck: {report.bottleneck}",
+             f"  requests in window: {report.n_requests}  "
+             f"mean request {1000 * report.mean_request_seconds:.1f} ms"]
+    if report.busy:
+        lines.append("  cpu busy fraction per tier:")
+        for tier in sorted(report.busy, key=lambda t: -report.busy[t]):
+            lines.append(f"    {tier:<10} {100 * report.busy[tier]:6.1f}%")
+    if report.web_nic_utilization is not None:
+        lines.append(f"  web NIC utilization: "
+                     f"{100 * report.web_nic_utilization:.1f}%")
+    shares = report.critical_path_shares()
+    if shares:
+        lines.append("  time-weighted request breakdown "
+                     "(tier/resource, share of request time):")
+        for (tier, cat), share in list(shares.items())[:top_paths]:
+            lines.append(f"    {tier + '/' + cat:<22} {100 * share:6.1f}%")
+    if report.lock_sites:
+        lines.append("  top lock-wait sites:")
+        for site in report.lock_sites[:top_locks]:
+            origin = f"  [{site.origin}]" if site.origin else ""
+            lines.append(
+                f"    {site.lock:<28} {site.wait_seconds:9.1f} s over "
+                f"{site.count} waits{origin}")
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Trace export: Chrome trace-event JSON and a text flame summary.
+
+The Chrome format (chrome://tracing, Perfetto, speedscope all read it)
+is a flat JSON object with a ``traceEvents`` list; every retained span
+becomes one complete ("X") event with microsecond timestamps.  Tiers map
+to Chrome "processes" and simulated clients to "threads", so the viewer
+groups the timeline the same way the paper's figures do: one swimlane
+per machine, one row per concurrent client.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.spans import RequestTrace, Span, Tracer
+
+
+def chrome_trace(requests: Iterable[RequestTrace]) -> dict:
+    """Retained request trees as a Chrome trace-event JSON object."""
+    events: List[dict] = []
+    pids: Dict[str, int] = {}
+
+    def pid_of(tier: str) -> int:
+        pid = pids.get(tier)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[tier] = pid
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "tid": 0, "args": {"name": tier}})
+        return pid
+
+    for rc in requests:
+        for span in rc.root.walk():
+            if span.end is None:
+                continue
+            event = {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),
+                "dur": round((span.end - span.start) * 1e6, 3),
+                "pid": pid_of(span.tier),
+                "tid": rc.client_id,
+            }
+            args = {"interaction": rc.interaction}
+            if span.meta:
+                args.update(span.meta)
+            event["args"] = args
+            events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the tracer's retained spans to ``path``; returns the event
+    count (metadata records included)."""
+    payload = chrome_trace(tracer.requests)
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+        fh.write("\n")
+    return len(payload["traceEvents"])
+
+
+def validate_chrome_trace(payload: dict) -> None:
+    """Schema check used by tests and the CI smoke job.
+
+    Raises ``ValueError`` on the first malformed record.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("top level must be an object with 'traceEvents'")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            raise ValueError(f"event {i}: unsupported phase {ph!r}")
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event {i}: missing {key!r}")
+        if ph == "X":
+            ts, dur = event.get("ts"), event.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"event {i}: bad ts {ts!r}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {i}: bad dur {dur!r}")
+
+
+# -- flame summary ----------------------------------------------------------------
+
+
+def _accumulate(span: Span, path: Tuple[str, ...],
+                table: Dict[Tuple[str, ...], List[float]]) -> None:
+    key = path + (f"{span.name} [{span.cat}]",)
+    entry = table.get(key)
+    if entry is None:
+        table[key] = [1, span.wall]
+    else:
+        entry[0] += 1
+        entry[1] += span.wall
+    for child in span.children:
+        _accumulate(child, key, table)
+
+
+def flame_summary(requests: Iterable[RequestTrace],
+                  interaction: Optional[str] = None,
+                  max_depth: int = 6, min_share: float = 0.005) -> str:
+    """A collapsed-stack text flame view of the retained requests.
+
+    Sibling frames are merged by (path, name, category) and printed with
+    their total simulated time and share of the root; frames below
+    ``min_share`` of the root are elided.
+    """
+    table: Dict[Tuple[str, ...], List[float]] = {}
+    n = 0
+    for rc in requests:
+        if interaction is not None and rc.interaction != interaction:
+            continue
+        n += 1
+        root_key = (f"{rc.interaction} [request]"
+                    if interaction is None else f"{interaction} [request]",)
+        entry = table.get(root_key)
+        if entry is None:
+            table[root_key] = [1, rc.root.wall]
+        else:
+            entry[0] += 1
+            entry[1] += rc.root.wall
+        for child in rc.root.children:
+            _accumulate(child, root_key, table)
+    if not n:
+        return "(no retained requests)"
+
+    roots = {key: entry for key, entry in table.items() if len(key) == 1}
+    lines = []
+    for root_key, (count, total) in sorted(roots.items(),
+                                           key=lambda kv: -kv[1][1]):
+        lines.append(f"{root_key[0]:<52} {total:9.2f} s  100.0%  "
+                     f"(n={count})")
+        children = sorted(
+            (key for key in table if len(key) > 1 and key[0] == root_key[0]),
+            key=lambda key: (len(key),))
+        # Depth-first print in tree order.
+        def emit(prefix: Tuple[str, ...], depth: int) -> None:
+            if depth > max_depth:
+                return
+            kids = [key for key in table
+                    if len(key) == len(prefix) + 1
+                    and key[:len(prefix)] == prefix]
+            kids.sort(key=lambda key: -table[key][1])
+            for key in kids:
+                count_k, total_k = table[key]
+                share = total_k / total if total else 0.0
+                if share < min_share:
+                    continue
+                indent = "  " * depth
+                label = indent + key[-1]
+                lines.append(f"{label:<52} {total_k:9.2f} s  "
+                             f"{100 * share:5.1f}%  (n={count_k})")
+                emit(key, depth + 1)
+        emit(root_key, 1)
+    return "\n".join(lines)

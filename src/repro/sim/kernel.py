@@ -165,7 +165,7 @@ class Simulator:
     """
 
     __slots__ = ("now", "_heap", "_seq", "_ready", "_nproc", "_current",
-                 "events_processed")
+                 "events_processed", "tracer")
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -177,6 +177,10 @@ class Simulator:
         # Count of process resumptions -- the kernel's unit of work,
         # reported as events/sec by the perf harness.
         self.events_processed = 0
+        # Optional repro.obs.Tracer; instrumented components check
+        # ``sim.tracer is not None`` and stay on the untouched hot path
+        # when tracing is off.
+        self.tracer = None
 
     @property
     def current_process(self) -> Optional["Process"]:

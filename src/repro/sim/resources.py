@@ -121,6 +121,56 @@ def safe_acquire_write(lock: "RWLock"):
         raise
 
 
+# -- traced acquisition (repro.obs) ------------------------------------------
+#
+# Same cancellation-safe semantics as the helpers above, but when the
+# acquire actually blocks, the wait is recorded as a span on ``rc`` (a
+# repro.obs RequestTrace).  Uncontended acquires record nothing, so the
+# span stream carries only real waits; virtual-time behaviour is
+# identical either way (spans never add events).
+
+def traced_acquire(resource: "Resource", rc, name: str, cat: str,
+                   tier: str):
+    ev = resource.acquire()
+    if ev.triggered:
+        return
+    span = rc.push(name, cat, tier)
+    try:
+        yield ev
+    except BaseException:
+        if ev.triggered:
+            resource.release()
+        else:
+            resource.cancel(ev)
+        raise
+    finally:
+        rc.pop(span)
+
+
+def traced_acquire_lock(lock: "RWLock", mode: str, rc, name: str,
+                        tier: str, origin: str = ""):
+    """Take an RW lock in ``mode`` ("READ"/"WRITE"), recording the wait
+    (if any) as a lock span named after the lock and mode."""
+    ev = lock.acquire_write() if mode == "WRITE" else lock.acquire_read()
+    if ev.triggered:
+        return
+    span = rc.push(f"{name} {mode}", "lock", tier,
+                   meta={"origin": origin} if origin else None)
+    try:
+        yield ev
+    except BaseException:
+        if ev.triggered:
+            if mode == "WRITE":
+                lock.release_write()
+            else:
+                lock.release_read()
+        else:
+            lock.cancel(ev)
+        raise
+    finally:
+        rc.pop(span)
+
+
 class Store:
     """An unbounded FIFO message store (producer/consumer channel)."""
 

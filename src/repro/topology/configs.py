@@ -46,6 +46,21 @@ class Configuration:
     def profile_flavor(self) -> str:
         return self.flavor
 
+    def deploy(self, app):
+        """Deploy ``app`` in this configuration's middleware flavor.
+
+        ``app`` is an application instance or a registry name
+        ("bookstore", ...); names go through
+        :func:`repro.apps.build_app`.  Returns what the flavor's
+        deploy method returns (the (presentation, container) pair for
+        the EJB configuration).
+        """
+        if isinstance(app, str):
+            from repro.apps import build_app
+            __, deployment = build_app(app, self.flavor)
+            return deployment
+        return app.deploy(self.flavor)
+
 
 WS_PHP_DB = Configuration(
     name="WsPhp-DB", flavor="php",

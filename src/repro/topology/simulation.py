@@ -44,9 +44,18 @@ from repro.sim.resources import (
     safe_acquire,
     safe_acquire_read,
     safe_acquire_write,
+    traced_acquire,
+    traced_acquire_lock,
 )
 from repro.topology.configs import Configuration
-from repro.web.server import WebServerConfig
+from repro.web.server import (
+    SPAN_ACCEPT_QUEUE,
+    SPAN_AJP_REPLY,
+    SPAN_AJP_REQUEST,
+    SPAN_HTTP,
+    SPAN_REPLY,
+    WebServerConfig,
+)
 
 
 @dataclass(frozen=True)
@@ -219,11 +228,18 @@ class SimulatedSite:
         proc = self.sim.current_process if self._track_inflight else None
         if proc is not None:
             self._inflight[proc] = name
+        tracer = self.sim.tracer
+        rc = tracer.begin_request(name, client_id) \
+            if tracer is not None else None
         try:
             yield from self._perform(variant, name, rng)
         finally:
             if proc is not None:
                 self._inflight.pop(proc, None)
+            if rc is not None:
+                # Closes every span still open (crash/interrupt paths
+                # included) and folds the request into the aggregates.
+                rc.close()
         self.interactions_done += 1
 
     def _perform(self, variant: InteractionVariant, name: str, rng):
@@ -232,6 +248,8 @@ class SimulatedSite:
         lan = self.lan
         web = self.web
         gen = self.gen
+        tracer = self.sim.tracer
+        rc = tracer.current() if tracer is not None else None
 
         # A crashed front end refuses the TCP connection outright.
         if self.down:
@@ -252,47 +270,69 @@ class SimulatedSite:
             raise AdmissionReject(f"accept queue full "
                                   f"({self.web_processes.queue_length}"
                                   f" >= {limit})")
-        yield from safe_acquire(self.web_processes)
+        if rc is None:
+            yield from safe_acquire(self.web_processes)
+        else:
+            yield from traced_acquire(self.web_processes, rc,
+                                      SPAN_ACCEPT_QUEUE, "queue", "web")
         try:
-            web_cpu = (web_cfg.per_request_cpu +
-                       costs.request_bytes * web_cfg.per_net_byte_cpu)
-            if name in self.ssl_interactions:
-                web_cpu += web_cfg.per_ssl_request_cpu
-            yield from web.cpu.execute(web_cpu)
+            span = rc.push(SPAN_HTTP, "phase", "web") \
+                if rc is not None else None
+            try:
+                web_cpu = (web_cfg.per_request_cpu +
+                           costs.request_bytes * web_cfg.per_net_byte_cpu)
+                if name in self.ssl_interactions:
+                    web_cpu += web_cfg.per_ssl_request_cpu
+                yield from web.cpu.execute(web_cpu)
 
-            if self.config.flavor == "php":
-                yield from self._run_php(variant, rng)
-            else:
-                yield from self._run_container(variant, rng)
+                if self.config.flavor == "php":
+                    yield from self._run_php(variant, rng, rc)
+                else:
+                    yield from self._run_container(variant, rng, rc)
+            finally:
+                if span is not None:
+                    rc.pop(span)
 
             # Reply to the client plus the embedded images it fetches.
-            reply_cpu = (variant.response_bytes + variant.image_bytes) * \
-                web_cfg.per_net_byte_cpu + \
-                variant.image_count * web_cfg.per_static_hit_cpu
-            yield from web.cpu.execute(reply_cpu)
-            yield from lan.transfer(web, self.client_machine,
-                                    variant.response_bytes)
-            if variant.image_count:
-                yield from lan.transfer(
-                    self.client_machine, web,
-                    variant.image_count * costs.image_request_bytes)
+            span = rc.push(SPAN_REPLY, "phase", "web") \
+                if rc is not None else None
+            try:
+                reply_cpu = (variant.response_bytes + variant.image_bytes) * \
+                    web_cfg.per_net_byte_cpu + \
+                    variant.image_count * web_cfg.per_static_hit_cpu
+                yield from web.cpu.execute(reply_cpu)
                 yield from lan.transfer(web, self.client_machine,
-                                        variant.image_bytes)
+                                        variant.response_bytes)
+                if variant.image_count:
+                    yield from lan.transfer(
+                        self.client_machine, web,
+                        variant.image_count * costs.image_request_bytes)
+                    yield from lan.transfer(web, self.client_machine,
+                                            variant.image_bytes)
+            finally:
+                if span is not None:
+                    rc.pop(span)
         finally:
             self.web_processes.release()
 
     # -- generator execution ------------------------------------------------------------
 
-    def _run_php(self, variant: InteractionVariant, rng):
+    def _run_php(self, variant: InteractionVariant, rng, rc=None):
         """PHP module: everything happens in the web server process."""
         php = self.php_costs
-        yield from self.web.cpu.execute(
-            php.per_request +
-            variant.response_bytes * php.per_output_byte +
-            variant.query_count * php.per_query_call)
-        yield from self._replay_steps(variant, rng)
+        span = rc.push("php.script", "phase", "web") \
+            if rc is not None else None
+        try:
+            yield from self.web.cpu.execute(
+                php.per_request +
+                variant.response_bytes * php.per_output_byte +
+                variant.query_count * php.per_query_call)
+            yield from self._replay_steps(variant, rng, rc)
+        finally:
+            if span is not None:
+                rc.pop(span)
 
-    def _run_container(self, variant: InteractionVariant, rng):
+    def _run_container(self, variant: InteractionVariant, rng, rc=None):
         """Servlet (and EJB) flavors: AJP crossing, container work."""
         ajp = self.ajp_costs
         gen = self.gen
@@ -302,54 +342,104 @@ class SimulatedSite:
         request_ipc = ajp.request_overhead_bytes + 80
         reply_ipc = ajp.reply_overhead_bytes + variant.response_bytes
         # Request crossing: web -> container.
-        yield from self.web.cpu.execute(
-            ajp.per_message + request_ipc * ajp.per_byte)
-        yield from self.lan.transfer(self.web, gen, request_ipc)
-        yield from gen.cpu.execute(
-            ajp.per_message + request_ipc * ajp.per_byte)
-
-        servlet = self.servlet_costs
-        yield from gen.cpu.execute(
-            servlet.per_request +
-            variant.response_bytes * servlet.per_output_byte)
-        if self.config.flavor != "ejb":
+        span = rc.push(SPAN_AJP_REQUEST, "ipc", gen.name) \
+            if rc is not None else None
+        try:
+            yield from self.web.cpu.execute(
+                ajp.per_message + request_ipc * ajp.per_byte)
+            yield from self.lan.transfer(self.web, gen, request_ipc)
             yield from gen.cpu.execute(
-                variant.query_count * servlet.per_query_call)
-        yield from self._replay_steps(variant, rng)
+                ajp.per_message + request_ipc * ajp.per_byte)
+        finally:
+            if span is not None:
+                rc.pop(span)
+
+        span = rc.push("servlet.engine", "phase", gen.name) \
+            if rc is not None else None
+        try:
+            servlet = self.servlet_costs
+            yield from gen.cpu.execute(
+                servlet.per_request +
+                variant.response_bytes * servlet.per_output_byte)
+            if self.config.flavor != "ejb":
+                yield from gen.cpu.execute(
+                    variant.query_count * servlet.per_query_call)
+            yield from self._replay_steps(variant, rng, rc)
+        finally:
+            if span is not None:
+                rc.pop(span)
 
         # Reply crossing: container -> web.
-        yield from gen.cpu.execute(
-            ajp.per_message + reply_ipc * ajp.per_byte)
-        yield from self.lan.transfer(gen, self.web, reply_ipc)
-        yield from self.web.cpu.execute(
-            ajp.per_message + reply_ipc * ajp.per_byte)
+        span = rc.push(SPAN_AJP_REPLY, "ipc", gen.name) \
+            if rc is not None else None
+        try:
+            yield from gen.cpu.execute(
+                ajp.per_message + reply_ipc * ajp.per_byte)
+            yield from self.lan.transfer(gen, self.web, reply_ipc)
+            yield from self.web.cpu.execute(
+                ajp.per_message + reply_ipc * ajp.per_byte)
+        finally:
+            if span is not None:
+                rc.pop(span)
 
     # -- step replay ---------------------------------------------------------------------
 
-    def _replay_steps(self, variant: InteractionVariant, rng):
+    def _replay_steps(self, variant: InteractionVariant, rng, rc=None):
         held_explicit: Dict[str, str] = {}
         held_sync: list = []
         key_draws: Dict[int, int] = {}
         try:
-            for step in variant.steps:
-                kind = step[0]
-                if kind == "query":
-                    yield from self._db_query(step, held_explicit)
-                elif kind == "lock":
-                    yield from self._db_explicit_lock(step[1], held_explicit)
-                elif kind == "unlock":
-                    self._db_explicit_unlock(held_explicit)
-                    yield from self.db.cpu.execute(
-                        self.costs.db_lock_statement_cpu)
-                elif kind == "sync_acquire":
-                    yield from self._sync_acquire(step[1], held_sync, rng,
-                                                  key_draws)
-                elif kind == "sync_release":
-                    self._sync_release(step[1], held_sync)
-                elif kind == "rmi":
-                    yield from self._rmi_crossing(step[1], step[2])
-                elif kind == "ejb_work":
-                    yield from self._ejb_work(step[1], step[2], step[3])
+            if rc is None:
+                # Hot path: identical to the untraced replay loop that
+                # the perf harness benchmarks.
+                for step in variant.steps:
+                    kind = step[0]
+                    if kind == "query":
+                        yield from self._db_query(step, held_explicit)
+                    elif kind == "lock":
+                        yield from self._db_explicit_lock(step[1],
+                                                          held_explicit)
+                    elif kind == "unlock":
+                        self._db_explicit_unlock(held_explicit)
+                        yield from self.db.cpu.execute(
+                            self.costs.db_lock_statement_cpu)
+                    elif kind == "sync_acquire":
+                        yield from self._sync_acquire(step[1], held_sync,
+                                                      rng, key_draws)
+                    elif kind == "sync_release":
+                        self._sync_release(step[1], held_sync)
+                    elif kind == "rmi":
+                        yield from self._rmi_crossing(step[1], step[2])
+                    elif kind == "ejb_work":
+                        yield from self._ejb_work(step[1], step[2], step[3])
+            else:
+                labels = variant.step_labels
+                nlabels = len(labels)
+                for i, step in enumerate(variant.steps):
+                    label = labels[i] if i < nlabels else ""
+                    kind = step[0]
+                    if kind == "query":
+                        yield from self._db_query(step, held_explicit,
+                                                  rc, label)
+                    elif kind == "lock":
+                        yield from self._db_explicit_lock(
+                            step[1], held_explicit, rc, label)
+                    elif kind == "unlock":
+                        self._db_explicit_unlock(held_explicit)
+                        yield from self.db.cpu.execute(
+                            self.costs.db_lock_statement_cpu)
+                    elif kind == "sync_acquire":
+                        yield from self._sync_acquire(step[1], held_sync,
+                                                      rng, key_draws,
+                                                      rc, label)
+                    elif kind == "sync_release":
+                        self._sync_release(step[1], held_sync)
+                    elif kind == "rmi":
+                        yield from self._rmi_crossing(step[1], step[2],
+                                                      rc, label)
+                    elif kind == "ejb_work":
+                        yield from self._ejb_work(step[1], step[2], step[3],
+                                                  rc, label)
         finally:
             # Defensive cleanup: a variant always closes its spans, but
             # never leave locks dangling if one did not.
@@ -359,7 +449,7 @@ class SimulatedSite:
                 self._sync_release([name for name, __ in held_sync],
                                    held_sync)
 
-    def _db_query(self, step, held_explicit):
+    def _db_query(self, step, held_explicit, rc=None, label=""):
         __, db_cpu, request_bytes, reply_bytes, reads, writes, count = step
         issuer = self.db_client
         driver = self._driver
@@ -369,36 +459,47 @@ class SimulatedSite:
             # Transient: getting a connection fails, the DB box is fine.
             yield from issuer.cpu.execute(driver.per_call)
             raise TransientDbError("database connection refused")
-        # Client-side driver work (count > 1 for coalesced read batches).
-        yield from issuer.cpu.execute(
-            count * driver.per_call + reply_bytes * driver.per_result_byte)
-        yield from self.lan.transfer(issuer, self.db, request_bytes)
-        # Per-statement MyISAM locks (skipped inside LOCK TABLES spans).
-        taken = []
+        span = rc.push("db.query", "db", "db",
+                       meta={"origin": label, "count": count}) \
+            if rc is not None else None
         try:
-            if not held_explicit:
-                write_set = sorted(set(writes))
-                read_set = sorted(set(reads) - set(writes))
-                for table in sorted(set(write_set) | set(read_set)):
-                    lock = self.table_lock(table)
-                    waited_from = self.sim.now
-                    if table in write_set:
-                        yield from safe_acquire_write(lock)
-                        taken.append((lock, "WRITE"))
+            # Client-side driver work (count > 1 for coalesced batches).
+            yield from issuer.cpu.execute(
+                count * driver.per_call +
+                reply_bytes * driver.per_result_byte)
+            yield from self.lan.transfer(issuer, self.db, request_bytes)
+            # Per-statement MyISAM locks (skipped inside LOCK TABLES).
+            taken = []
+            try:
+                if not held_explicit:
+                    write_set = sorted(set(writes))
+                    read_set = sorted(set(reads) - set(writes))
+                    for table in sorted(set(write_set) | set(read_set)):
+                        lock = self.table_lock(table)
+                        mode = "WRITE" if table in write_set else "READ"
+                        waited_from = self.sim.now
+                        if rc is not None:
+                            yield from traced_acquire_lock(
+                                lock, mode, rc, lock.name, "db", label)
+                        elif mode == "WRITE":
+                            yield from safe_acquire_write(lock)
+                        else:
+                            yield from safe_acquire_read(lock)
+                        taken.append((lock, mode))
+                        self.db_lock_wait_time += self.sim.now - waited_from
+                yield from self.db.cpu.execute(db_cpu)
+            finally:
+                for lock, mode in taken:
+                    if mode == "WRITE":
+                        lock.release_write()
                     else:
-                        yield from safe_acquire_read(lock)
-                        taken.append((lock, "READ"))
-                    self.db_lock_wait_time += self.sim.now - waited_from
-            yield from self.db.cpu.execute(db_cpu)
+                        lock.release_read()
+            yield from self.lan.transfer(self.db, issuer, reply_bytes)
         finally:
-            for lock, mode in taken:
-                if mode == "WRITE":
-                    lock.release_write()
-                else:
-                    lock.release_read()
-        yield from self.lan.transfer(self.db, issuer, reply_bytes)
+            if span is not None:
+                rc.pop(span)
 
-    def _db_explicit_lock(self, lock_set, held_explicit):
+    def _db_explicit_lock(self, lock_set, held_explicit, rc=None, label=""):
         """LOCK TABLES: take every lock (sorted order prevents deadlock),
         hold until UNLOCK TABLES."""
         if self.down:
@@ -408,7 +509,10 @@ class SimulatedSite:
         for table, mode in sorted(lock_set):
             lock = self.table_lock(table)
             waited_from = self.sim.now
-            if mode == "WRITE":
+            if rc is not None:
+                yield from traced_acquire_lock(lock, mode, rc, lock.name,
+                                               "db", label)
+            elif mode == "WRITE":
                 yield from safe_acquire_write(lock)
             else:
                 yield from safe_acquire_read(lock)
@@ -425,7 +529,8 @@ class SimulatedSite:
                 lock.release_read()
         held_explicit.clear()
 
-    def _sync_acquire(self, lock_set, held_sync, rng, key_draws):
+    def _sync_acquire(self, lock_set, held_sync, rng, key_draws,
+                      rc=None, label=""):
         """Take container locks; placeholder slots get fresh entity keys
         drawn from the table's key space (consistent within one
         interaction, independent across interactions)."""
@@ -452,7 +557,10 @@ class SimulatedSite:
             yield from gen.cpu.execute(self.servlet_costs.per_sync_lock)
             lock = self.sync_lock(name)
             waited_from = self.sim.now
-            if mode == "WRITE":
+            if rc is not None:
+                yield from traced_acquire_lock(lock, mode, rc, lock.name,
+                                               gen.name, label)
+            elif mode == "WRITE":
                 yield from safe_acquire_write(lock)
             else:
                 yield from safe_acquire_read(lock)
@@ -473,31 +581,45 @@ class SimulatedSite:
                 self._sync_locks.pop(name, None)
         held_sync.clear()
 
-    def _rmi_crossing(self, request_bytes, reply_bytes):
+    def _rmi_crossing(self, request_bytes, reply_bytes, rc=None, label=""):
         """Servlet <-> EJB server round trip for one façade call."""
         rmi = self.rmi_costs
         servlet = self.gen
         ejb = self.ejb
         if self.down:
             self._check_up(ejb)
-        yield from servlet.cpu.execute(
-            rmi.per_call + request_bytes * rmi.per_byte)
-        yield from self.lan.transfer(servlet, ejb, request_bytes)
-        yield from ejb.cpu.execute(
-            rmi.per_call + request_bytes * rmi.per_byte)
-        # (the queries of the call replay as their own steps)
-        yield from ejb.cpu.execute(
-            rmi.per_call + reply_bytes * rmi.per_byte)
-        yield from self.lan.transfer(ejb, servlet, reply_bytes)
-        yield from servlet.cpu.execute(
-            rmi.per_call + reply_bytes * rmi.per_byte)
+        span = rc.push("rmi", "rmi", ejb.name,
+                       meta={"origin": label} if label else None) \
+            if rc is not None else None
+        try:
+            yield from servlet.cpu.execute(
+                rmi.per_call + request_bytes * rmi.per_byte)
+            yield from self.lan.transfer(servlet, ejb, request_bytes)
+            yield from ejb.cpu.execute(
+                rmi.per_call + request_bytes * rmi.per_byte)
+            # (the queries of the call replay as their own steps)
+            yield from ejb.cpu.execute(
+                rmi.per_call + reply_bytes * rmi.per_byte)
+            yield from self.lan.transfer(ejb, servlet, reply_bytes)
+            yield from servlet.cpu.execute(
+                rmi.per_call + reply_bytes * rmi.per_byte)
+        finally:
+            if span is not None:
+                rc.pop(span)
 
-    def _ejb_work(self, loads, stores, fields):
+    def _ejb_work(self, loads, stores, fields, rc=None, label=""):
         k = self.ejb_costs
         queries = 0  # driver costs are charged per query step
         cpu = (k.per_method + loads * k.per_entity_load +
                stores * k.per_entity_store + fields * k.per_field_access)
-        yield from self.ejb.cpu.execute(cpu)
+        span = rc.push("ejb.work", "ejb", self.ejb.name,
+                       meta={"origin": label} if label else None) \
+            if rc is not None else None
+        try:
+            yield from self.ejb.cpu.execute(cpu)
+        finally:
+            if span is not None:
+                rc.pop(span)
 
     # -- reporting helpers ------------------------------------------------------------------
 

@@ -12,6 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+# Canonical span names for the web tier (repro.obs traces).  Kept here
+# so the simulation, the exporters, and the tests agree on the labels.
+SPAN_ACCEPT_QUEUE = "web.accept"      # waiting for an Apache process slot
+SPAN_HTTP = "web.http"                # request handling + SSL
+SPAN_REPLY = "web.reply"              # response + embedded images
+SPAN_AJP_REQUEST = "ajp.request"      # web -> container crossing
+SPAN_AJP_REPLY = "ajp.reply"          # container -> web crossing
+
 
 @dataclass(frozen=True)
 class WebServerConfig:
