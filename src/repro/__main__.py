@@ -16,6 +16,8 @@ calibrate            print analytic saturation points vs paper targets
 bboard [--full] [--jobs N]
                      run the bulletin-board extension experiment
 faults [...]         crash/restart one tier mid-run, report availability
+scale [...]          scale-out experiment: peak throughput vs database
+                     read replicas (repro.cluster)
 perf [...]           time a bench grid serial vs parallel; write
                      BENCH_perf.json
 version              print the package version
@@ -23,13 +25,38 @@ version              print the package version
 Sweep commands accept ``--jobs N`` to fan the independent simulation
 runs out over N worker processes (default: one per CPU; ``--jobs 1``
 is the exact serial legacy path).  Parallel output is bit-identical
-to serial output under pinned seeds.
+to serial output under pinned seeds.  ``--config NAME`` restricts a
+sweep to named configurations; names are validated up front, so a typo
+exits (code 2) with the list of known names instead of costing a run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _reject_unknown_configs(names) -> bool:
+    """Validate ``--config`` names before any sweep starts.
+
+    Every subcommand calls this first, so a typo costs milliseconds,
+    not a simulation run.  Unknown names are reported together with the
+    list of valid ones; returns True when something was rejected (the
+    caller exits 2).
+    """
+    if not names:
+        return False
+    from repro.topology.configs import configuration_names
+    known = configuration_names()
+    unknown = [name for name in names if name not in known]
+    if not unknown:
+        return False
+    for name in unknown:
+        print(f"unknown configuration {name!r}", file=sys.stderr)
+    print("known configurations:", file=sys.stderr)
+    for name in known:
+        print(f"  {name}", file=sys.stderr)
+    return True
 
 
 def _cmd_figures(__args) -> int:
@@ -49,6 +76,9 @@ def _cmd_figure(args) -> int:
         render_figure,
         run_figure_spec,
     )
+    configurations = tuple(getattr(args, "config", None) or ()) or None
+    if _reject_unknown_configs(configurations):
+        return 2
     try:
         figure_id = normalize_figure_id(args.figure)
     except KeyError:
@@ -56,10 +86,12 @@ def _cmd_figure(args) -> int:
               f"figures'", file=sys.stderr)
         return 2
     print(render_figure(figure_id, full=args.full, jobs=args.jobs,
-                        trace=getattr(args, "trace", False)))
+                        trace=getattr(args, "trace", False),
+                        configurations=configurations))
     if getattr(args, "csv", None):
         spec, __ = FIGURES[figure_id]
-        run_figure_spec(spec, full=args.full, jobs=args.jobs) \
+        run_figure_spec(spec, full=args.full, jobs=args.jobs,
+                        configurations=configurations) \
             .save_csv(args.csv)
         print(f"\n[csv written to {args.csv}]")
     return 0
@@ -84,17 +116,41 @@ def _cmd_bboard(args) -> int:
 
 
 def _cmd_faults(args) -> int:
+    configurations = tuple(args.config) if args.config else None
+    if _reject_unknown_configs(configurations):
+        return 2
     from repro.experiments.ext_failover import render
     mix_name = args.mix or {"bookstore": "shopping", "auction": "bidding",
                             "bboard": "submission"}[args.app]
     print(render(tier=args.tier, scale=args.scale, app_name=args.app,
-                 mix_name=mix_name, seed=args.seed, jobs=args.jobs))
+                 mix_name=mix_name, seed=args.seed, jobs=args.jobs,
+                 configurations=configurations))
+    return 0
+
+
+def _cmd_scale(args) -> int:
+    if args.config is not None and _reject_unknown_configs((args.config,)):
+        return 2
+    from repro.experiments.ext_scaleout import DEFAULT_MIXES, render
+    mixes = tuple(args.mix) if args.mix else (
+        DEFAULT_MIXES if args.app == "bookstore"
+        else ({"auction": ("bidding",),
+               "bboard": ("submission",)}[args.app]))
+    bases = ({mix: args.config for mix in mixes}
+             if args.config is not None else None)
+    print(render(scale=args.scale, app_name=args.app, mix_names=mixes,
+                 base_configs=bases,
+                 replica_counts=(tuple(args.replicas)
+                                 if args.replicas else None),
+                 seed=args.seed, jobs=args.jobs, trace=args.trace))
     return 0
 
 
 def _cmd_perf(args) -> int:
     from repro.harness.perf import render_perf, run_perf
     configurations = tuple(args.config) if args.config else None
+    if _reject_unknown_configs(configurations):
+        return 2
     result = run_perf(figure_id=args.figure, jobs=args.jobs,
                       out_path=args.out, configurations=configurations)
     print(render_perf(result))
@@ -141,6 +197,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "attribution")
     figure.add_argument("--csv", metavar="PATH",
                         help="also write the sweep data as CSV")
+    figure.add_argument("--config", action="append", metavar="NAME",
+                        help="restrict the sweep to one configuration "
+                             "(repeatable; default: all six)")
     add_jobs_argument(figure)
     figure.set_defaults(func=_cmd_figure)
 
@@ -183,8 +242,36 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--mix", default=None,
                         help="workload mix (default: app's headline mix)")
     faults.add_argument("--seed", type=int, default=42)
+    faults.add_argument("--config", action="append", metavar="NAME",
+                        help="restrict to one configuration "
+                             "(repeatable; default: all six)")
     add_jobs_argument(faults)
     faults.set_defaults(func=_cmd_faults)
+
+    scale = sub.add_parser(
+        "scale", help="scale-out experiment: peak throughput vs database "
+                      "read replicas for CPU-bound and lock-bound mixes")
+    scale.add_argument("--app", default="bookstore",
+                       choices=("bookstore", "auction", "bboard"))
+    scale.add_argument("--mix", action="append", metavar="NAME",
+                       help="workload mix (repeatable; default: shopping "
+                            "and ordering for the bookstore)")
+    scale.add_argument("--config", default=None, metavar="NAME",
+                       help="base paper configuration to cluster for "
+                            "every mix (default: per-mix choices)")
+    scale.add_argument("--replicas", action="append", type=int,
+                       metavar="N",
+                       help="replica count to sweep (repeatable; "
+                            "default: the scale level's grid)")
+    scale.add_argument("--scale", default="quick",
+                       choices=("tiny", "quick", "full"))
+    scale.add_argument("--trace", action="store_true",
+                       help="re-run each replica count's peak with "
+                            "request tracing; append the bottleneck "
+                            "verdict")
+    scale.add_argument("--seed", type=int, default=42)
+    add_jobs_argument(scale)
+    scale.set_defaults(func=_cmd_scale)
 
     perf = sub.add_parser(
         "perf", help="time one figure's bench grid serial vs parallel "

@@ -39,7 +39,7 @@ def _resolve(app_name: str) -> Tuple[type, object]:
 
 
 def build_app(app_name: str, arch: Optional[str] = None, *,
-              database=None, **db_kwargs):
+              cluster=None, database=None, **db_kwargs):
     """Build (or fetch the cached) application, optionally deployed.
 
     ``build_app("bookstore")`` returns the process-wide BookstoreApp
@@ -48,6 +48,12 @@ def build_app(app_name: str, arch: Optional[str] = None, *,
     pair ``(app, deployment)`` where ``deployment`` is whatever the
     architecture's ``deploy_*`` method yields -- the middleware front
     end, or ``(presentation, container)`` for ejb.
+
+    ``cluster`` deploys a pool instead: pass a
+    :class:`repro.cluster.ClusterSpec` (the ``gen`` count is used) or a
+    plain int, and the second element of the pair becomes the *list* of
+    independent deployments over the shared database
+    (:meth:`~repro.apps.base.BenchmarkApp.deploy_pool`).
 
     ``database`` or database-builder keywords (``scale``, ``tiny``,
     ``rng``) bypass the cache and build a private instance.
@@ -61,7 +67,12 @@ def build_app(app_name: str, arch: Optional[str] = None, *,
     else:
         app = cls(database if database is not None else builder(**db_kwargs))
     if arch is None:
+        if cluster is not None:
+            raise ValueError("cluster deployment needs an architecture")
         return app
+    if cluster is not None:
+        count = getattr(cluster, "gen", cluster)
+        return app, app.deploy_pool(arch, int(count))
     return app, app.deploy(arch)
 
 

@@ -108,6 +108,18 @@ class BenchmarkApp:
         raise ValueError(f"unknown architecture {arch!r}; "
                          f"have {list(ARCHITECTURES)}")
 
+    def deploy_pool(self, arch: str, count: int, **kwargs) -> list:
+        """``count`` independent deployments over the shared database.
+
+        The functional counterpart of a load-balanced container pool
+        (:mod:`repro.cluster`): each servlet engine / PHP module is its
+        own process with private caches and its own sync-lock registry,
+        all hitting one database.
+        """
+        if count < 1:
+            raise ValueError(f"pool needs >= 1 deployment, got {count}")
+        return [self.deploy(arch, **kwargs) for __ in range(count)]
+
     # -- workload ------------------------------------------------------------------
 
     def make_state(self, rng):

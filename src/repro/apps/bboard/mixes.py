@@ -45,6 +45,20 @@ def read_write_fraction(mix: Dict[str, float]) -> float:
     return rw / total
 
 
+# Registration nicknames embed a per-state tag seeded from the state's
+# address; collisions from address reuse bump to the next free value
+# (see the bookstore mixes for the full story).
+_USED_TAGS = set()
+
+
+def _fresh_tag(state) -> int:
+    tag = id(state) % 100000
+    while tag in _USED_TAGS:
+        tag += 1
+    _USED_TAGS.add(tag)
+    return tag
+
+
 @dataclass
 class BboardState:
     """Per-session client state for parameter generation."""
@@ -55,7 +69,12 @@ class BboardState:
     n_comments: int
     user_id: int = 1
     registered: int = 0
+    tag: int = -1
     extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.tag < 0:
+            self.tag = _fresh_tag(self)
 
     @classmethod
     def from_database(cls, db, rng: random.Random) -> "BboardState":
@@ -104,6 +123,6 @@ def make_request(name: str, rng: random.Random,
                   "vote": rng.choice([-1, 1, 1]), **state.credentials()}
     elif name == "register_user":
         state.registered += 1
-        params = {"nickname": f"newreader_{id(state) % 100000}_"
+        params = {"nickname": f"newreader_{state.tag}_"
                               f"{state.registered}_{rng.randrange(10**9)}"}
     return HttpRequest(path=f"/{name}", params=params)

@@ -62,6 +62,23 @@ def read_only_fraction(mix: Dict[str, float]) -> float:
     return read_only / total
 
 
+# Registration usernames embed a per-state tag so they stay unique even
+# when states draw from identically-seeded RNGs (profiling does exactly
+# that per flavor).  The tag seeds from the state's address -- byte-for-
+# byte what the usernames always were -- but a collision (the allocator
+# reusing a freed state's address, which used to crash profiling with a
+# duplicate-key error) bumps to the next free value.
+_USED_TAGS = set()
+
+
+def _fresh_tag(state) -> int:
+    tag = id(state) % 100000
+    while tag in _USED_TAGS:
+        tag += 1
+    _USED_TAGS.add(tag)
+    return tag
+
+
 @dataclass
 class BookstoreState:
     """Per-session client state used to generate request parameters."""
@@ -70,7 +87,12 @@ class BookstoreState:
     n_customers: int
     c_id: int = 1
     registered: int = 0
+    tag: int = -1
     extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.tag < 0:
+            self.tag = _fresh_tag(self)
 
     @classmethod
     def from_database(cls, db, rng: random.Random) -> "BookstoreState":
@@ -107,7 +129,7 @@ def make_request(name: str, rng: random.Random,
                   "qty": 1 + rng.randrange(3)}
     elif name == "customer_registration":
         state.registered += 1
-        params = {"new_uname": f"newcust_{id(state) % 100000}_"
+        params = {"new_uname": f"newcust_{state.tag}_"
                                f"{state.registered}_{rng.randrange(10**9)}"}
     elif name in ("buy_request", "buy_confirm", "order_inquiry"):
         params = {"c_id": state.c_id}

@@ -1,0 +1,343 @@
+"""A :class:`SimulatedSite` with replicated tiers behind load balancers.
+
+:class:`ClusteredSite` keeps every mechanism of the base site -- the
+same cost tables, lock semantics, fault surface and tracing hooks --
+and adds the scale-out plumbing of a :class:`ClusterConfiguration`:
+
+* per-request routing: the web and servlet pools sit behind
+  :class:`~repro.cluster.balancer.LoadBalancer` instances, and the
+  route (which machines, which Apache process pool, which sync-lock
+  registry) travels with the request;
+* a :class:`~repro.cluster.replication.ReplicatedDb`: writes and
+  explicit ``LOCK TABLES`` spans go to the primary, plain reads go to
+  caught-up replicas (read-your-writes per session), and committed
+  writes ship asynchronously to every replica;
+* crash containment: when a pool member crashes, only the requests
+  routed *through that member* are interrupted, and interrupted
+  requests re-route through the balancer instead of aborting (unless
+  they already committed a write -- those surface the error so the
+  client's retry policy decides).
+
+A trivial cluster (1 web, 1 gen, 0 replicas) takes none of the new
+paths that schedule events or draw RNG, so its reports are field-for-
+field identical to the paper configuration it wraps -- tests assert
+this, and the ``scale-smoke`` CI job guards it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cluster.balancer import LoadBalancer
+from repro.cluster.replication import DbInstance, ReplicatedDb, SessionState
+from repro.cluster.spec import ClusterConfiguration
+from repro.faults.errors import TierDown
+from repro.harness.profiles import AppProfile
+from repro.sim.kernel import Interrupt, Simulator
+from repro.sim.resources import Resource, RWLock
+from repro.sim.rng import RngStreams
+from repro.topology.simulation import SimulatedSite
+from repro.web.server import SPAN_LB_ROUTE
+
+
+class ClusterRoute:
+    """The machines (and bookkeeping) serving one request."""
+
+    __slots__ = ("web", "gen", "ejb", "db", "db_client", "web_processes",
+                 "session", "client_id", "web_token", "gen_token",
+                 "db_busy_on", "writes_committed")
+
+    def __init__(self, web, gen, ejb, db, db_client, web_processes,
+                 session, client_id, web_token, gen_token):
+        self.web = web
+        self.gen = gen
+        self.ejb = ejb
+        self.db = db                  # the write primary
+        self.db_client = db_client
+        self.web_processes = web_processes
+        self.session = session
+        self.client_id = client_id
+        self.web_token = web_token    # balancer slots to release
+        self.gen_token = gen_token
+        self.db_busy_on = None        # replica currently serving a read
+        self.writes_committed = 0     # commits by *this* attempt
+
+
+class ClusteredSite(SimulatedSite):
+    """A deployed cluster configuration under simulation."""
+
+    def __init__(self, sim: Simulator, config: ClusterConfiguration,
+                 profile: AppProfile, rng: Optional[RngStreams] = None,
+                 **kwargs):
+        if not isinstance(config, ClusterConfiguration):
+            raise TypeError(f"ClusteredSite needs a ClusterConfiguration, "
+                            f"got {config.name!r}; wrap it with "
+                            f"repro.cluster.clustered()")
+        super().__init__(sim, config, profile, **kwargs)
+        spec = config.cluster
+        rng = rng if rng is not None else RngStreams(42)
+        is_up = lambda name: name not in self.down   # noqa: E731
+
+        # -- web / gen pools ------------------------------------------------
+        web_names = config.pool("web")
+        self.web_pool = [self.machines[n] for n in web_names]
+        # One Apache process pool per front end; member 1 *is* the base
+        # site's pool object, so tests and admission control see it.
+        self._web_processes: Dict[str, Resource] = {
+            self.web.name: self.web_processes}
+        for machine in self.web_pool[1:]:
+            self._web_processes[machine.name] = Resource(
+                sim, capacity=self.web_config.max_processes,
+                name=f"httpd@{machine.name}")
+        self.web_lb = LoadBalancer(
+            "lb.web", web_names, policy=spec.web_policy,
+            rng=rng.stream("cluster.lb.web"), is_up=is_up)
+
+        if config.colocated("web", "gen"):
+            self.gen_pool = self.web_pool
+            self.gen_lb = None        # the web pick is the gen pick
+        else:
+            gen_names = config.pool("gen")
+            self.gen_pool = [self.machines[n] for n in gen_names]
+            self.gen_lb = LoadBalancer(
+                "lb.gen", gen_names, policy=spec.gen_policy,
+                rng=rng.stream("cluster.lb.gen"), is_up=is_up)
+        # Each servlet engine is its own JVM: private sync-lock
+        # registry per pool member (member 1 shares the base site's, so
+        # the trivial cluster and the tests see the same dict).
+        self._sync_registries: Dict[str, Dict[str, RWLock]] = {
+            machine.name: {} for machine in self.gen_pool}
+        self._sync_registries[self.gen.name] = self._sync_locks
+
+        # -- replicated database -------------------------------------------
+        primary = DbInstance(sim, self.db,
+                             write_priority=self.costs.db_write_priority,
+                             table_locks=self._table_locks, is_primary=True)
+        replica_names = config.db_replica_names()
+        replicas = [DbInstance(sim, self.machines[n],
+                               write_priority=self.costs.db_write_priority)
+                    for n in replica_names]
+        read_lb = LoadBalancer(
+            "lb.db", replica_names or [self.db.name],
+            policy=spec.db_read_policy,
+            rng=rng.stream("cluster.lb.db"), is_up=is_up)
+        self.repl = ReplicatedDb(
+            sim, self, primary, replicas,
+            replication_lag=spec.replication_lag,
+            apply_cost_factor=spec.apply_cost_factor, balancer=read_lb)
+        self._db_instances: Dict[str, DbInstance] = {
+            self.db.name: primary}
+        self._db_instances.update(
+            (r.machine.name, r) for r in replicas)
+        self._db_replica_names = frozenset(replica_names)
+
+        # -- routing state --------------------------------------------------
+        self._sessions: Dict[int, SessionState] = {}
+        self._routes: Dict[object, ClusterRoute] = {}
+        self._pool_names: Dict[str, tuple] = {}
+        if len(web_names) > 1:
+            members = tuple(web_names)
+            for name in members:
+                self._pool_names[name] = members
+        if self.gen_lb is not None and len(self.gen_pool) > 1:
+            members = tuple(m.name for m in self.gen_pool)
+            for name in members:
+                self._pool_names[name] = members
+        self.reroutes = 0             # requests resubmitted by a balancer
+
+    # -- sessions -------------------------------------------------------------
+
+    def _session(self, client_id: int) -> SessionState:
+        session = self._sessions.get(client_id)
+        if session is None:
+            session = SessionState(client_id)
+            self._sessions[client_id] = session
+        return session
+
+    def new_session(self, client_id: int, rng) -> None:
+        """Session start: fresh consistency watermark, fresh affinity."""
+        self._session(client_id).reset()
+        self.web_lb.forget_session(client_id)
+        if self.gen_lb is not None:
+            self.gen_lb.forget_session(client_id)
+        self.repl.balancer.forget_session(client_id)
+
+    def end_session(self, client_id: int) -> None:
+        """Session end: release the sticky balancer bindings so an
+        affinity pool re-spreads when the client comes back."""
+        self.web_lb.forget_session(client_id)
+        if self.gen_lb is not None:
+            self.gen_lb.forget_session(client_id)
+        self.repl.balancer.forget_session(client_id)
+
+    # -- routing --------------------------------------------------------------
+
+    def _route(self, client_id: int, rng) -> ClusterRoute:
+        session = self._session(client_id)
+        web_token = self._acquire_member(self.web_lb, client_id)
+        web = self.machines[web_token] if web_token is not None \
+            else self.web_pool[0]
+        if self.gen_lb is None:
+            gen, gen_token = web, None
+        else:
+            try:
+                gen_token = self._acquire_member(self.gen_lb, client_id)
+            except BaseException:
+                if web_token is not None:
+                    self.web_lb.release(web_token)
+                raise
+            gen = self.machines[gen_token] if gen_token is not None \
+                else self.gen_pool[0]
+        db_client = self.ejb if self.config.flavor == "ejb" else gen
+        route = ClusterRoute(
+            web=web, gen=gen, ejb=self.ejb, db=self.db,
+            db_client=db_client,
+            web_processes=self._web_processes[web.name],
+            session=session, client_id=client_id,
+            web_token=web_token, gen_token=gen_token)
+        if self._track_inflight:
+            proc = self.sim.current_process
+            if proc is not None:
+                self._routes[proc] = route
+        tracer = self.sim.tracer
+        if tracer is not None and len(self.web_pool) > 1:
+            rc = tracer.current()
+            if rc is not None:
+                span = rc.push(SPAN_LB_ROUTE, "lb", web.name,
+                               meta={"web": web.name, "gen": gen.name,
+                                     "policy": self.web_lb.policy})
+                rc.pop(span)
+        return route
+
+    @staticmethod
+    def _acquire_member(balancer: LoadBalancer,
+                        client_id: int) -> Optional[str]:
+        """Pick a pool member; with the whole pool down, fall back to
+        member 1 un-acquired so the request fails at exactly the point
+        the single-machine site would fail (down-check in the replay
+        path), keeping trivial-cluster fault runs identical."""
+        try:
+            return balancer.acquire(session_key=client_id)
+        except TierDown:
+            return None
+
+    def _end_route(self, route: ClusterRoute) -> None:
+        if route.web_token is not None:
+            self.web_lb.release(route.web_token)
+        if route.gen_token is not None:
+            self.gen_lb.release(route.gen_token)
+        if self._routes:
+            proc = self.sim.current_process
+            if proc is not None and self._routes.get(proc) is route:
+                del self._routes[proc]
+
+    def _dispatch(self, variant, name, client_id, rng):
+        attempts = 0
+        while True:
+            route = self._route(client_id, rng)
+            try:
+                yield from self._perform(variant, name, rng, route)
+                return
+            except Interrupt as exc:
+                cause = exc.cause
+                machine = cause.machine if isinstance(cause, TierDown) \
+                    else None
+                if machine is None \
+                        or not self._reroutable(machine, route, attempts):
+                    raise
+            except TierDown as exc:
+                if not self._reroutable(exc.machine, route, attempts):
+                    raise
+            finally:
+                self._end_route(route)
+            attempts += 1
+            self.reroutes += 1
+
+    def _reroutable(self, machine: str, route: ClusterRoute,
+                    attempts: int) -> bool:
+        """Can the balancer resubmit this attempt elsewhere?  Only when
+        the failed machine belongs to a replicated pool with a live
+        sibling and the attempt has not committed a write (resubmitting
+        a committed purchase would double it; the client retry policy
+        owns that decision)."""
+        if route.writes_committed:
+            return False
+        pool = self._pool_names.get(machine)
+        if pool is None:
+            return False
+        if attempts + 1 >= len(pool):
+            return False
+        return any(m not in self.down for m in pool)
+
+    # -- database routing -----------------------------------------------------
+
+    def _db_query(self, step, held_explicit, route, rc=None, label=""):
+        repl = self.repl
+        writes = step[5]
+        # Writes and LOCK TABLES spans always execute on the primary;
+        # so does everything when there are no replicas (identity).
+        if held_explicit or writes or not repl.replicas:
+            yield from self._db_access(step, held_explicit, route,
+                                       self.db, rc, label)
+            return
+        while True:
+            instance, token = repl.route_read(route.session, rc)
+            if token is not None:
+                route.db_busy_on = instance.machine.name
+            try:
+                yield from self._db_access(step, held_explicit, route,
+                                           instance.machine, rc, label)
+                return
+            except Interrupt as exc:
+                cause = exc.cause
+                if token is None or not isinstance(cause, TierDown) \
+                        or cause.machine != instance.machine.name:
+                    raise
+                # The crashed replica is marked down before the
+                # interrupt lands, so the next route excludes it and
+                # the read resubmits on a survivor (or the primary).
+                self.reroutes += 1
+            finally:
+                if token is not None:
+                    repl.release_read(token)
+                    route.db_busy_on = None
+
+    def _instance_table_lock(self, db, table: str) -> RWLock:
+        instance = self._db_instances.get(db.name)
+        if instance is None or instance.is_primary:
+            return self.table_lock(table)
+        return instance.table_lock(table)
+
+    def _note_commit(self, route: ClusterRoute, writes,
+                     db_cpu: float) -> None:
+        self.repl.commit_write(route.session, writes, db_cpu)
+        route.writes_committed += 1
+
+    # -- fault surface --------------------------------------------------------
+
+    def mark_up(self, machine_name: str) -> None:
+        super().mark_up(machine_name)
+        self.repl.notify_up(machine_name)
+
+    def crash_victims(self, machine_name: str) -> list:
+        pool = self._pool_names.get(machine_name)
+        if pool is not None \
+                and any(m != machine_name and m not in self.down
+                        for m in pool):
+            return [proc for proc, route in self._routes.items()
+                    if not proc.finished
+                    and (route.web.name == machine_name
+                         or route.gen.name == machine_name)]
+        if machine_name in self._db_replica_names \
+                and self.db.name not in self.down:
+            return [proc for proc, route in self._routes.items()
+                    if not proc.finished
+                    and route.db_busy_on == machine_name]
+        return self.inflight_processes()
+
+    # -- sync locks -----------------------------------------------------------
+
+    def _sync_registry(self, route) -> Dict[str, RWLock]:
+        if route is None or route is self:
+            return self._sync_locks
+        return self._sync_registries[route.gen.name]

@@ -1,0 +1,238 @@
+"""The cluster axis: replica counts layered over a paper configuration.
+
+A :class:`ClusterSpec` says how many instances each tier runs --
+``web`` Apache front ends, ``gen`` dynamic-content generators (servlet
+containers or PHP-capable web boxes), and ``db_replicas`` read-only
+database replicas behind one write primary -- plus the replication and
+balancing parameters.  :func:`clustered` combines a spec with one of the
+six paper configurations into a :class:`ClusterConfiguration` whose name
+spells out the shape, e.g.::
+
+    Ws{2}-Servlet{4}-DB(1+2)     2 Apaches, 4 servlet engines,
+                                 1 primary + 2 read replicas
+    Ws-Servlet-DB(sync)(1+0)     the paper configuration, spelled as a
+                                 trivial cluster (identical behavior)
+
+The six paper configurations themselves are untouched: a
+``ClusterConfiguration`` is a separate object, and a trivial spec
+(one instance everywhere, zero replicas) reproduces the paper
+configuration's reports field for field.
+
+Machine naming: instance 1 of a pool keeps the paper machine name
+("web", "servlet", "db") so the trivial cluster builds the exact same
+machines; extra pool members are "web#2", "servlet#3", ...; database
+read replicas are "db.r1", "db.r2", ....
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from repro.topology.configs import Configuration, configuration_by_name
+
+#: Balancing policies understood by :class:`repro.cluster.balancer.LoadBalancer`.
+POLICIES: Tuple[str, ...] = ("round_robin", "least_connections", "affinity")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Replica counts and scale-out parameters for one deployment."""
+
+    web: int = 1                    # Apache front ends
+    gen: int = 1                    # servlet containers / PHP web boxes
+    db_replicas: int = 0            # read replicas behind the primary
+    # Async log shipping: a committed write becomes visible on a replica
+    # this many (virtual) seconds after commit.
+    replication_lag: float = 0.1
+    # Replaying a write on a replica costs this fraction of the
+    # statement's primary CPU time.  Statement-based shipping (the
+    # C-JDBC/RAIDb model for this stack) re-executes the statement in
+    # full, so the default is 1.0; row-based shipping would discount it.
+    apply_cost_factor: float = 1.0
+    web_policy: str = "least_connections"
+    gen_policy: str = "round_robin"
+    db_read_policy: str = "least_connections"
+
+    def validate(self) -> None:
+        if self.web < 1:
+            raise ValueError(f"web pool needs >= 1 instance, got {self.web}")
+        if self.gen < 1:
+            raise ValueError(f"gen pool needs >= 1 instance, got {self.gen}")
+        if self.db_replicas < 0:
+            raise ValueError(f"db_replicas must be >= 0, "
+                             f"got {self.db_replicas}")
+        if self.replication_lag < 0:
+            raise ValueError(f"replication_lag must be >= 0, "
+                             f"got {self.replication_lag}")
+        if self.apply_cost_factor < 0:
+            raise ValueError(f"apply_cost_factor must be >= 0, "
+                             f"got {self.apply_cost_factor}")
+        for role, policy in (("web", self.web_policy),
+                             ("gen", self.gen_policy),
+                             ("db", self.db_read_policy)):
+            if policy not in POLICIES:
+                raise ValueError(f"unknown {role} balancing policy "
+                                 f"{policy!r}; have {POLICIES}")
+
+    @property
+    def trivial(self) -> bool:
+        """One instance per tier, no replicas: the paper configuration."""
+        return self.web == 1 and self.gen == 1 and self.db_replicas == 0
+
+
+def _pool_member_names(base: str, count: int) -> List[str]:
+    return [base] + [f"{base}#{i}" for i in range(2, count + 1)]
+
+
+def _replica_names(base: str, count: int) -> List[str]:
+    return [f"{base}.r{i}" for i in range(1, count + 1)]
+
+
+@dataclass(frozen=True)
+class ClusterConfiguration(Configuration):
+    """A paper configuration extended with a cluster axis.
+
+    ``placement`` still maps roles to the *first* pool member, so every
+    role accessor of the base class keeps working; :meth:`pool` lists a
+    role's full pool.
+    """
+
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    base_name: str = ""   # the underlying paper configuration's name
+
+    def machine_names(self) -> List[str]:
+        spec = self.cluster
+        web_m = self.placement["web"]
+        db_m = self.placement["db"]
+        gen_m = self.placement["gen"]
+        names: List[str] = []
+        for name in super().machine_names():
+            if name == web_m:
+                # colocated web+gen pools are the same machines
+                names.extend(_pool_member_names(name, spec.web))
+            elif name == gen_m:
+                names.extend(_pool_member_names(name, spec.gen))
+            elif name == db_m:
+                names.append(name)
+                names.extend(_replica_names(name, spec.db_replicas))
+            else:
+                names.append(name)      # the EJB server is not pooled
+        return names
+
+    def pool(self, role: str) -> List[str]:
+        """Machine names of ``role``'s pool, first member first."""
+        base = self.machine_of(role)
+        if role == "web" or (role == "gen" and self.colocated("web", "gen")):
+            return _pool_member_names(base, self.cluster.web)
+        if role == "gen":
+            return _pool_member_names(base, self.cluster.gen)
+        if role == "db":
+            return [base]               # writes go to the primary only
+        return [base]
+
+    def db_replica_names(self) -> List[str]:
+        return _replica_names(self.machine_of("db"), self.cluster.db_replicas)
+
+    @property
+    def base_configuration(self) -> Configuration:
+        return configuration_by_name(self.base_name)
+
+
+def _cluster_name(base: Configuration, spec: ClusterSpec) -> str:
+    """``Ws{2}-Servlet{4}-DB(1+2)`` style names from base + spec."""
+    parts = base.name.split("-")
+    out = []
+    for i, part in enumerate(parts):
+        if part.startswith("DB"):
+            part = f"{part}(1+{spec.db_replicas})"
+        elif i == 0 and spec.web > 1:
+            part = f"{part}{{{spec.web}}}"
+        elif part == "Servlet" and spec.gen > 1:
+            part = f"{part}{{{spec.gen}}}"
+        out.append(part)
+    return "-".join(out)
+
+
+def clustered(base, spec: ClusterSpec = None,
+              **kwargs) -> ClusterConfiguration:
+    """Build a :class:`ClusterConfiguration` over a paper configuration.
+
+    ``base`` is a :class:`Configuration` or its name; ``spec`` or the
+    keyword arguments parameterize the cluster (``clustered("Ws-Servlet-DB",
+    db_replicas=2, gen=4)``).  When web and gen share a machine (the
+    colocated configurations) the shared pool is sized by ``web``; a
+    conflicting explicit ``gen`` count is an error.
+    """
+    if isinstance(base, str):
+        base = configuration_by_name(base)
+    if isinstance(base, ClusterConfiguration):
+        raise ValueError(f"{base.name!r} is already a cluster configuration")
+    if spec is None:
+        spec = ClusterSpec(**kwargs)
+    elif kwargs:
+        raise ValueError("pass either a ClusterSpec or keyword arguments, "
+                         "not both")
+    spec.validate()
+    if base.colocated("web", "gen") and spec.gen != spec.web:
+        if spec.gen == 1:
+            spec = replace(spec, gen=spec.web)
+        else:
+            raise ValueError(
+                f"configuration {base.name!r} colocates web and gen; "
+                f"their pool is sized by 'web' (web={spec.web}, "
+                f"gen={spec.gen} conflict)")
+    return ClusterConfiguration(
+        name=_cluster_name(base, spec), flavor=base.flavor,
+        placement=dict(base.placement), cluster=spec, base_name=base.name)
+
+
+_DB_SUFFIX_RE = re.compile(r"^(?P<head>.+?-)?(?P<db>DB(\(sync\))?)"
+                           r"\((?P<primary>\d+)\+(?P<replicas>\d+)\)$")
+_POOL_RE = re.compile(r"^(?P<stem>.+?)\{(?P<count>\d+)\}$")
+
+
+def parse_cluster_name(name: str) -> ClusterConfiguration:
+    """Round-trip a ``Ws{2}-Servlet{4}-DB(1+2)`` name back to its
+    configuration (with default lag/policy parameters)."""
+    m = _DB_SUFFIX_RE.match(name)
+    if m is None:
+        raise KeyError(f"{name!r} is not a cluster configuration name "
+                       f"(expected a ...-DB(1+N) suffix)")
+    if m.group("primary") != "1":
+        raise KeyError(f"{name!r}: only one write primary is supported")
+    replicas = int(m.group("replicas"))
+    head = (m.group("head") or "").rstrip("-")
+    segments = head.split("-") if head else []
+    web = gen = 1
+    stripped = []
+    for i, segment in enumerate(segments):
+        pm = _POOL_RE.match(segment)
+        count = 1
+        if pm is not None:
+            segment, count = pm.group("stem"), int(pm.group("count"))
+        if i == 0:
+            web = count
+        elif segment == "Servlet":
+            gen = count
+        elif count != 1:
+            raise KeyError(f"{name!r}: tier {segment!r} cannot be pooled")
+        stripped.append(segment)
+    base_name = "-".join(stripped + [m.group("db")])
+    try:
+        base = configuration_by_name(base_name)
+    except KeyError:
+        raise KeyError(f"{name!r}: no paper configuration named "
+                       f"{base_name!r} to cluster") from None
+    return clustered(base, ClusterSpec(web=web, gen=gen,
+                                       db_replicas=replicas))
+
+
+def resolve_configuration(name: str):
+    """A configuration from either namespace: one of the six paper
+    names, or a cluster name like ``Ws{2}-Servlet{4}-DB(1+2)``."""
+    try:
+        return configuration_by_name(name)
+    except KeyError:
+        return parse_cluster_name(name)

@@ -150,6 +150,76 @@ class ConnectionPool:
         self._outstanding -= 1
 
 
+#: Statement kinds safe to serve from a read replica.
+_READ_KINDS = frozenset({"select", "explain"})
+
+
+class ReadWriteSplitConnection:
+    """Routes statements over one primary and N replica connections.
+
+    The functional counterpart of the cluster's replicated database
+    (:mod:`repro.cluster.replication`): plain SELECTs rotate across the
+    replica connections; every write, DDL statement, and ``LOCK
+    TABLES`` span executes on the primary.  Read-your-writes is
+    conservative -- after the first write the session's reads *stay* on
+    the primary until :meth:`sync_replicas` declares the replicas
+    caught up (in the simulation the timing layer makes that call; here
+    it is explicit so the splitting logic is testable on its own).
+    """
+
+    def __init__(self, primary: Connection,
+                 replicas: Sequence[Connection]):
+        self.primary = primary
+        self.replicas = list(replicas)
+        self._cursor = 0
+        self._dirty = False      # wrote since the last sync_replicas()
+        self._locked = False     # inside a LOCK TABLES span
+        self.reads_split = 0     # statements served by a replica
+
+    def execute(self, sql: str, params: Sequence = ()) -> ResultSet:
+        conn = self._pick(sql)
+        result = conn.execute(sql, params)
+        if conn is self.primary:
+            if result.kind == "lock":
+                self._locked = True
+            elif result.kind == "unlock":
+                self._locked = False
+            elif result.kind not in _READ_KINDS:
+                self._dirty = True
+        else:
+            self.reads_split += 1
+        return result
+
+    def _pick(self, sql: str) -> Connection:
+        if not self.replicas or self._dirty or self._locked:
+            return self.primary
+        head = sql.lstrip().split(None, 1)
+        keyword = head[0].upper() if head else ""
+        if keyword in ("SELECT", "EXPLAIN"):
+            conn = self.replicas[self._cursor % len(self.replicas)]
+            self._cursor += 1
+            return conn
+        return self.primary
+
+    def sync_replicas(self) -> None:
+        """Replicas have applied every shipped write: reads may leave
+        the primary again."""
+        self._dirty = False
+
+    @property
+    def last_insert_id(self) -> Optional[int]:
+        return self.primary.last_insert_id
+
+    @property
+    def overheads(self) -> DriverOverheads:
+        return self.primary.overheads
+
+    def close(self) -> None:
+        self.primary.close()
+        for conn in self.replicas:
+            conn.close()
+
+
 class RecordingConnection:
     """Wraps a connection, capturing a QueryRecord per statement."""
 

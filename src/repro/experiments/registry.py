@@ -111,20 +111,23 @@ def run_figure(figure_id: str, full: bool = False,
 
 
 def render_figure(figure_id: str, full: bool = False, jobs=None,
-                  trace: bool = False) -> str:
+                  trace: bool = False, configurations=None) -> str:
     """The figure as printable text (throughput table or CPU bars).
 
     ``trace`` additionally re-runs each configuration's peak point with
     request-level tracing and appends the bottleneck attribution lines.
+    ``configurations`` restricts the sweep to a subset of the six names.
     """
     figure_id = normalize_figure_id(figure_id)
     spec, kind = FIGURES[figure_id]
-    report = run_figure_spec(spec, full=full, jobs=jobs)
+    report = run_figure_spec(spec, full=full, jobs=jobs,
+                             configurations=configurations)
     text = report.render_cpu_table() if kind == "cpu" \
         else report.render_throughput_table()
     if trace:
         from repro.experiments.trace import render_figure_bottlenecks
-        text += "\n\n" + render_figure_bottlenecks(figure_id, full=full)
+        text += "\n\n" + render_figure_bottlenecks(
+            figure_id, full=full, configurations=configurations)
     return text
 
 

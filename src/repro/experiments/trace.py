@@ -16,6 +16,7 @@ Chrome trace-event JSON (load in ``chrome://tracing`` / Perfetto), and
 from __future__ import annotations
 
 import argparse
+import sys
 from dataclasses import replace
 from typing import Dict, Optional
 
@@ -29,14 +30,17 @@ from repro.obs import flame_summary, render_report, write_chrome_trace
 def trace_figure_point(figure_id: str, config_name: str,
                        clients: Optional[int] = None,
                        full: bool = False,
-                       jobs: Optional[int] = None) -> ThroughputPoint:
+                       jobs: Optional[int] = None,
+                       configurations: Optional[tuple] = None) \
+        -> ThroughputPoint:
     """Re-run one figure grid point with tracing on.
 
     ``clients`` of None means the configuration's peak: the figure's
-    sweep is run (or fetched from the report cache) to find it.  The
-    traced re-run itself is always serial -- span aggregation lives in
-    the simulator process.  The returned point carries ``bottleneck``
-    (verdict string), ``bottleneck_report`` and ``tracer`` attributes.
+    sweep is run (or fetched from the report cache, restricted to
+    ``configurations`` when given) to find it.  The traced re-run
+    itself is always serial -- span aggregation lives in the simulator
+    process.  The returned point carries ``bottleneck`` (verdict
+    string), ``bottleneck_report`` and ``tracer`` attributes.
     """
     figure_id = normalize_figure_id(figure_id)
     spec, __ = FIGURES[figure_id]
@@ -45,7 +49,8 @@ def trace_figure_point(figure_id: str, config_name: str,
         raise KeyError(f"unknown configuration {config_name!r}; "
                        f"have {sorted(specs_by_config)}")
     if clients is None:
-        report = run_figure_spec(spec, full=full, jobs=jobs)
+        report = run_figure_spec(spec, full=full, jobs=jobs,
+                                 configurations=configurations)
         clients = report.series[config_name].peak().clients
     base = specs_by_config[config_name]
     return run_experiment(replace(base, clients=clients, trace=True))
@@ -55,27 +60,35 @@ def trace_figure_peaks(figure_id: str, full: bool = False,
                        jobs: Optional[int] = None,
                        configurations: Optional[tuple] = None) \
         -> Dict[str, ThroughputPoint]:
-    """Trace every configuration of a figure at its peak point."""
+    """Trace every configuration of a figure at its peak point.
+
+    With ``configurations`` given, only those sweeps run at all -- the
+    peak-finding sweep is restricted the same way as the traced set.
+    """
     figure_id = normalize_figure_id(figure_id)
     spec, __ = FIGURES[figure_id]
-    report = run_figure_spec(spec, full=full, jobs=jobs)
+    report = run_figure_spec(spec, full=full, jobs=jobs,
+                             configurations=configurations)
     out: Dict[str, ThroughputPoint] = {}
     for config_name in report.series:
         if configurations and config_name not in configurations:
             continue
         out[config_name] = trace_figure_point(
-            figure_id, config_name, full=full, jobs=jobs)
+            figure_id, config_name, full=full, jobs=jobs,
+            configurations=configurations)
     return out
 
 
 def render_figure_bottlenecks(figure_id: str, full: bool = False,
-                              jobs: Optional[int] = None) -> str:
+                              jobs: Optional[int] = None,
+                              configurations: Optional[tuple] = None) -> str:
     """Bottleneck-attribution text for every configuration's peak.
 
     This is what ``--trace`` on the figure CLI appends below the
     throughput/CPU table.
     """
-    points = trace_figure_peaks(figure_id, full=full, jobs=jobs)
+    points = trace_figure_peaks(figure_id, full=full, jobs=jobs,
+                                configurations=configurations)
     lines = [f"bottleneck attribution at peak throughput "
              f"({normalize_figure_id(figure_id)})"]
     for config_name, point in points.items():
@@ -112,6 +125,18 @@ def main(argv=None) -> None:
                              "time went, by span path)")
     args = parser.parse_args(argv)
 
+    if args.config:
+        # Validate before the (expensive) peak-finding sweep: a typo
+        # costs milliseconds and prints the valid names, not a run.
+        from repro.topology.configs import configuration_names
+        known = configuration_names()
+        unknown = [name for name in args.config if name not in known]
+        if unknown:
+            for name in unknown:
+                print(f"unknown configuration {name!r}", file=sys.stderr)
+            print(f"known configurations: {', '.join(known)}",
+                  file=sys.stderr)
+            raise SystemExit(2)
     figure_id = normalize_figure_id(args.figure)
     spec, __ = FIGURES[figure_id]
     configurations = tuple(args.config) if args.config else None

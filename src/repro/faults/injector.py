@@ -59,11 +59,15 @@ class FaultInjector:
             return
         site.mark_down(event.tier)
         self.log.append((sim.now, "crash", event.tier, "down"))
-        # Abort everything in flight: the first pass interrupts the
-        # waiters, the zero-delay yields let their cleanup run and make
-        # ready-queue stragglers interruptible for the next pass.
+        # Abort everything exposed to the crash: the first pass
+        # interrupts the waiters, the zero-delay yields let their
+        # cleanup run and make ready-queue stragglers interruptible for
+        # the next pass.  The site decides who is exposed: with a single
+        # machine per tier that is every in-flight interaction, while a
+        # clustered site only surrenders the requests routed through the
+        # crashed pool member (the rest re-route via the balancer).
         for __ in range(_INTERRUPT_PASSES):
-            for proc in site.inflight_processes():
+            for proc in site.crash_victims(event.tier):
                 proc.interrupt(TierDown(event.tier))
             yield 0.0
         yield event.duration

@@ -20,6 +20,7 @@ Event kinds
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
@@ -28,6 +29,11 @@ from typing import Iterable, Optional, Tuple
 # not crashable there -- that *is* the failure-containment question.
 TIERS: Tuple[str, ...] = ("web", "servlet", "ejb", "db")
 KINDS: Tuple[str, ...] = ("crash", "db_conn_glitch", "lan_degrade")
+
+# Cluster configurations (repro.cluster) add pool members "web#2",
+# "servlet#3", ... and database read replicas "db.r1", "db.r2", ...;
+# those are crashable machines too.
+_MEMBER_RE = re.compile(r"^(web|servlet|ejb|db)(#[0-9]+|\.r[0-9]+)?$")
 
 
 @dataclass(frozen=True)
@@ -44,8 +50,10 @@ class FaultEvent:
         if self.kind not in KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; "
                              f"have {KINDS}")
-        if self.kind != "lan_degrade" and self.tier not in TIERS:
-            raise ValueError(f"unknown tier {self.tier!r}; have {TIERS}")
+        if self.kind != "lan_degrade" and not _MEMBER_RE.match(self.tier):
+            raise ValueError(f"unknown tier {self.tier!r}; have {TIERS} "
+                             f"plus pool members like 'web#2' and "
+                             f"replicas like 'db.r1'")
         if self.at < 0:
             raise ValueError(f"fault start must be >= 0, got {self.at}")
         if self.duration < 0:

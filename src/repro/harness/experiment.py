@@ -73,13 +73,25 @@ class ExperimentSpec:
                        ramp_down=self.ramp_down * factor)
 
 
+def build_site(sim: Simulator, spec: ExperimentSpec) -> SimulatedSite:
+    """The site for a spec: clustered when the configuration carries a
+    cluster axis (:mod:`repro.cluster`), the plain single-machine-per-
+    tier site otherwise.  The import stays lazy so the paper
+    configurations never load the cluster package."""
+    kwargs = dict(ssl_interactions=spec.ssl_interactions,
+                  costs=spec.sim_costs or SimCosts(),
+                  web_config=spec.web_config)
+    if getattr(spec.config, "cluster", None) is not None:
+        from repro.cluster.site import ClusteredSite
+        return ClusteredSite(sim, spec.config, spec.profile,
+                             rng=RngStreams(spec.seed), **kwargs)
+    return SimulatedSite(sim, spec.config, spec.profile, **kwargs)
+
+
 def run_experiment(spec: ExperimentSpec) -> ThroughputPoint:
     """Run one point and report its throughput + peak-window CPU."""
     sim = Simulator()
-    site = SimulatedSite(sim, spec.config, spec.profile,
-                         ssl_interactions=spec.ssl_interactions,
-                         costs=spec.sim_costs or SimCosts(),
-                         web_config=spec.web_config)
+    site = build_site(sim, spec)
     tracer = None
     if spec.trace:
         from repro.obs import Tracer

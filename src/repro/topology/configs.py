@@ -102,3 +102,8 @@ def configuration_by_name(name: str) -> Configuration:
             return config
     raise KeyError(f"unknown configuration {name!r}; have "
                    f"{[c.name for c in ALL_CONFIGURATIONS]}")
+
+
+def configuration_names() -> Tuple[str, ...]:
+    """The paper configurations' names, for CLI validation and help."""
+    return tuple(config.name for config in ALL_CONFIGURATIONS)

@@ -171,12 +171,18 @@ class SimulatedSite:
             self._table_locks[table] = lock
         return lock
 
-    def sync_lock(self, name: str) -> RWLock:
-        lock = self._sync_locks.get(name)
+    def sync_lock(self, name: str, route=None) -> RWLock:
+        registry = self._sync_registry(route)
+        lock = registry.get(name)
         if lock is None:
             lock = RWLock(self.sim, write_priority=True, name=f"sync.{name}")
-            self._sync_locks[name] = lock
+            registry[name] = lock
         return lock
+
+    def _sync_registry(self, route) -> Dict[str, RWLock]:
+        """Registry holding the container sync locks for this route.
+        One registry here; one per servlet-engine replica in a cluster."""
+        return self._sync_locks
 
     # -- fault-injection surface (driven by repro.faults.FaultInjector) -------------
 
@@ -200,6 +206,16 @@ class SimulatedSite:
         """Processes currently inside :meth:`perform` (for aborting)."""
         return [proc for proc in self._inflight if not proc.finished]
 
+    def crash_victims(self, machine_name: str) -> list:
+        """Processes to interrupt when ``machine_name`` crashes.
+
+        With one machine per tier every in-flight interaction dies with
+        it; a clustered site narrows this to the requests actually
+        routed through the crashed pool member so the survivors keep
+        running on their replicas.
+        """
+        return self.inflight_processes()
+
     def begin_db_glitch(self) -> None:
         self.db_conn_glitch = True
 
@@ -214,6 +230,10 @@ class SimulatedSite:
 
     def new_session(self, client_id: int, rng) -> None:
         """Session start: nothing to do (connections are pooled)."""
+
+    def end_session(self, client_id: int) -> None:
+        """Session end: nothing to keep per session here (a clustered
+        site drops the session's balancer affinity bindings)."""
 
     def perform(self, client_id: int, name: str, rng):
         """Simulator process: execute one interaction end to end.
@@ -232,7 +252,7 @@ class SimulatedSite:
         rc = tracer.begin_request(name, client_id) \
             if tracer is not None else None
         try:
-            yield from self._perform(variant, name, rng)
+            yield from self._dispatch(variant, name, client_id, rng)
         finally:
             if proc is not None:
                 self._inflight.pop(proc, None)
@@ -242,12 +262,34 @@ class SimulatedSite:
                 rc.close()
         self.interactions_done += 1
 
-    def _perform(self, variant: InteractionVariant, name: str, rng):
+    # -- routing (repro.cluster overrides these hooks) -------------------------------
+
+    def _route(self, client_id: int, rng):
+        """Pick the machines serving this request.  The base site is its
+        own (only) route: ``route.web`` / ``route.gen`` / ``route.db`` /
+        ``route.ejb`` / ``route.db_client`` / ``route.web_processes``
+        resolve to the fixed tier attributes, and nothing is allocated
+        per request."""
+        return self
+
+    def _end_route(self, route) -> None:
+        """Release per-request routing state (balancer slots); no-op
+        when the site is its own route."""
+
+    def _dispatch(self, variant: InteractionVariant, name: str,
+                  client_id: int, rng):
+        route = self._route(client_id, rng)
+        try:
+            yield from self._perform(variant, name, rng, route)
+        finally:
+            self._end_route(route)
+
+    def _perform(self, variant: InteractionVariant, name: str, rng, route):
         costs = self.costs
         web_cfg = self.web_config
         lan = self.lan
-        web = self.web
-        gen = self.gen
+        web = route.web
+        web_processes = route.web_processes
         tracer = self.sim.tracer
         rc = tracer.current() if tracer is not None else None
 
@@ -261,19 +303,19 @@ class SimulatedSite:
         # at its bound, shed the request with a fast 503.
         limit = web_cfg.accept_queue_limit
         if limit is not None \
-                and self.web_processes.in_use >= self.web_processes.capacity \
-                and self.web_processes.queue_length >= limit:
+                and web_processes.in_use >= web_processes.capacity \
+                and web_processes.queue_length >= limit:
             self.rejections += 1
             yield from web.cpu.execute(web_cfg.per_reject_cpu)
             yield from lan.transfer(web, self.client_machine,
                                     web_cfg.reject_response_bytes)
             raise AdmissionReject(f"accept queue full "
-                                  f"({self.web_processes.queue_length}"
+                                  f"({web_processes.queue_length}"
                                   f" >= {limit})")
         if rc is None:
-            yield from safe_acquire(self.web_processes)
+            yield from safe_acquire(web_processes)
         else:
-            yield from traced_acquire(self.web_processes, rc,
+            yield from traced_acquire(web_processes, rc,
                                       SPAN_ACCEPT_QUEUE, "queue", "web")
         try:
             span = rc.push(SPAN_HTTP, "phase", "web") \
@@ -286,9 +328,9 @@ class SimulatedSite:
                 yield from web.cpu.execute(web_cpu)
 
                 if self.config.flavor == "php":
-                    yield from self._run_php(variant, rng, rc)
+                    yield from self._run_php(variant, rng, route, rc)
                 else:
-                    yield from self._run_container(variant, rng, rc)
+                    yield from self._run_container(variant, rng, route, rc)
             finally:
                 if span is not None:
                     rc.pop(span)
@@ -313,29 +355,32 @@ class SimulatedSite:
                 if span is not None:
                     rc.pop(span)
         finally:
-            self.web_processes.release()
+            web_processes.release()
 
     # -- generator execution ------------------------------------------------------------
 
-    def _run_php(self, variant: InteractionVariant, rng, rc=None):
+    def _run_php(self, variant: InteractionVariant, rng, route, rc=None):
         """PHP module: everything happens in the web server process."""
         php = self.php_costs
+        web = route.web
         span = rc.push("php.script", "phase", "web") \
             if rc is not None else None
         try:
-            yield from self.web.cpu.execute(
+            yield from web.cpu.execute(
                 php.per_request +
                 variant.response_bytes * php.per_output_byte +
                 variant.query_count * php.per_query_call)
-            yield from self._replay_steps(variant, rng, rc)
+            yield from self._replay_steps(variant, rng, route, rc)
         finally:
             if span is not None:
                 rc.pop(span)
 
-    def _run_container(self, variant: InteractionVariant, rng, rc=None):
+    def _run_container(self, variant: InteractionVariant, rng, route,
+                       rc=None):
         """Servlet (and EJB) flavors: AJP crossing, container work."""
         ajp = self.ajp_costs
-        gen = self.gen
+        web = route.web
+        gen = route.gen
         if self.down:
             # The AJP connector to a crashed container fails fast.
             self._check_up(gen)
@@ -345,9 +390,9 @@ class SimulatedSite:
         span = rc.push(SPAN_AJP_REQUEST, "ipc", gen.name) \
             if rc is not None else None
         try:
-            yield from self.web.cpu.execute(
+            yield from web.cpu.execute(
                 ajp.per_message + request_ipc * ajp.per_byte)
-            yield from self.lan.transfer(self.web, gen, request_ipc)
+            yield from self.lan.transfer(web, gen, request_ipc)
             yield from gen.cpu.execute(
                 ajp.per_message + request_ipc * ajp.per_byte)
         finally:
@@ -364,7 +409,7 @@ class SimulatedSite:
             if self.config.flavor != "ejb":
                 yield from gen.cpu.execute(
                     variant.query_count * servlet.per_query_call)
-            yield from self._replay_steps(variant, rng, rc)
+            yield from self._replay_steps(variant, rng, route, rc)
         finally:
             if span is not None:
                 rc.pop(span)
@@ -375,8 +420,8 @@ class SimulatedSite:
         try:
             yield from gen.cpu.execute(
                 ajp.per_message + reply_ipc * ajp.per_byte)
-            yield from self.lan.transfer(gen, self.web, reply_ipc)
-            yield from self.web.cpu.execute(
+            yield from self.lan.transfer(gen, web, reply_ipc)
+            yield from web.cpu.execute(
                 ajp.per_message + reply_ipc * ajp.per_byte)
         finally:
             if span is not None:
@@ -384,7 +429,8 @@ class SimulatedSite:
 
     # -- step replay ---------------------------------------------------------------------
 
-    def _replay_steps(self, variant: InteractionVariant, rng, rc=None):
+    def _replay_steps(self, variant: InteractionVariant, rng, route,
+                      rc=None):
         held_explicit: Dict[str, str] = {}
         held_sync: list = []
         key_draws: Dict[int, int] = {}
@@ -395,23 +441,27 @@ class SimulatedSite:
                 for step in variant.steps:
                     kind = step[0]
                     if kind == "query":
-                        yield from self._db_query(step, held_explicit)
+                        yield from self._db_query(step, held_explicit,
+                                                  route)
                     elif kind == "lock":
                         yield from self._db_explicit_lock(step[1],
-                                                          held_explicit)
+                                                          held_explicit,
+                                                          route)
                     elif kind == "unlock":
                         self._db_explicit_unlock(held_explicit)
-                        yield from self.db.cpu.execute(
+                        yield from route.db.cpu.execute(
                             self.costs.db_lock_statement_cpu)
                     elif kind == "sync_acquire":
                         yield from self._sync_acquire(step[1], held_sync,
-                                                      rng, key_draws)
+                                                      rng, key_draws, route)
                     elif kind == "sync_release":
-                        self._sync_release(step[1], held_sync)
+                        self._sync_release(step[1], held_sync, route)
                     elif kind == "rmi":
-                        yield from self._rmi_crossing(step[1], step[2])
+                        yield from self._rmi_crossing(step[1], step[2],
+                                                      route)
                     elif kind == "ejb_work":
-                        yield from self._ejb_work(step[1], step[2], step[3])
+                        yield from self._ejb_work(step[1], step[2], step[3],
+                                                  route)
             else:
                 labels = variant.step_labels
                 nlabels = len(labels)
@@ -420,46 +470,55 @@ class SimulatedSite:
                     kind = step[0]
                     if kind == "query":
                         yield from self._db_query(step, held_explicit,
-                                                  rc, label)
+                                                  route, rc, label)
                     elif kind == "lock":
                         yield from self._db_explicit_lock(
-                            step[1], held_explicit, rc, label)
+                            step[1], held_explicit, route, rc, label)
                     elif kind == "unlock":
                         self._db_explicit_unlock(held_explicit)
-                        yield from self.db.cpu.execute(
+                        yield from route.db.cpu.execute(
                             self.costs.db_lock_statement_cpu)
                     elif kind == "sync_acquire":
                         yield from self._sync_acquire(step[1], held_sync,
-                                                      rng, key_draws,
+                                                      rng, key_draws, route,
                                                       rc, label)
                     elif kind == "sync_release":
-                        self._sync_release(step[1], held_sync)
+                        self._sync_release(step[1], held_sync, route)
                     elif kind == "rmi":
                         yield from self._rmi_crossing(step[1], step[2],
-                                                      rc, label)
+                                                      route, rc, label)
                     elif kind == "ejb_work":
                         yield from self._ejb_work(step[1], step[2], step[3],
-                                                  rc, label)
+                                                  route, rc, label)
         finally:
             # Defensive cleanup: a variant always closes its spans, but
             # never leave locks dangling if one did not.
             if held_explicit:
                 self._db_explicit_unlock(held_explicit)
             if held_sync:
-                self._sync_release([name for name, __ in held_sync],
-                                   held_sync)
+                self._sync_release([name for name, __, __ in held_sync],
+                                   held_sync, route)
 
-    def _db_query(self, step, held_explicit, rc=None, label=""):
+    def _db_query(self, step, held_explicit, route, rc=None, label=""):
+        yield from self._db_access(step, held_explicit, route,
+                                   self._db_target(route), rc, label)
+
+    def _db_target(self, route):
+        """Database machine serving this statement; the clustered site
+        splits reads off to replicas here."""
+        return route.db
+
+    def _db_access(self, step, held_explicit, route, db, rc=None, label=""):
         __, db_cpu, request_bytes, reply_bytes, reads, writes, count = step
-        issuer = self.db_client
+        issuer = route.db_client
         driver = self._driver
         if self.down:
-            self._check_up(self.db)
+            self._check_up(db)
         if self.db_conn_glitch:
             # Transient: getting a connection fails, the DB box is fine.
             yield from issuer.cpu.execute(driver.per_call)
             raise TransientDbError("database connection refused")
-        span = rc.push("db.query", "db", "db",
+        span = rc.push("db.query", "db", db.name,
                        meta={"origin": label, "count": count}) \
             if rc is not None else None
         try:
@@ -467,7 +526,7 @@ class SimulatedSite:
             yield from issuer.cpu.execute(
                 count * driver.per_call +
                 reply_bytes * driver.per_result_byte)
-            yield from self.lan.transfer(issuer, self.db, request_bytes)
+            yield from self.lan.transfer(issuer, db, request_bytes)
             # Per-statement MyISAM locks (skipped inside LOCK TABLES).
             taken = []
             try:
@@ -475,7 +534,7 @@ class SimulatedSite:
                     write_set = sorted(set(writes))
                     read_set = sorted(set(reads) - set(writes))
                     for table in sorted(set(write_set) | set(read_set)):
-                        lock = self.table_lock(table)
+                        lock = self._instance_table_lock(db, table)
                         mode = "WRITE" if table in write_set else "READ"
                         waited_from = self.sim.now
                         if rc is not None:
@@ -487,23 +546,35 @@ class SimulatedSite:
                             yield from safe_acquire_read(lock)
                         taken.append((lock, mode))
                         self.db_lock_wait_time += self.sim.now - waited_from
-                yield from self.db.cpu.execute(db_cpu)
+                yield from db.cpu.execute(db_cpu)
             finally:
                 for lock, mode in taken:
                     if mode == "WRITE":
                         lock.release_write()
                     else:
                         lock.release_read()
-            yield from self.lan.transfer(self.db, issuer, reply_bytes)
+            if writes:
+                self._note_commit(route, writes, db_cpu)
+            yield from self.lan.transfer(db, issuer, reply_bytes)
         finally:
             if span is not None:
                 rc.pop(span)
 
-    def _db_explicit_lock(self, lock_set, held_explicit, rc=None, label=""):
+    def _instance_table_lock(self, db, table: str) -> RWLock:
+        """Table-lock registry of the database machine ``db``; one
+        registry here, one per replica in a cluster."""
+        return self.table_lock(table)
+
+    def _note_commit(self, route, writes, db_cpu: float) -> None:
+        """A write statement committed; the replicated DB ships it to
+        the replicas.  Nothing to do with a single database."""
+
+    def _db_explicit_lock(self, lock_set, held_explicit, route,
+                          rc=None, label=""):
         """LOCK TABLES: take every lock (sorted order prevents deadlock),
         hold until UNLOCK TABLES."""
         if self.down:
-            self._check_up(self.db)
+            self._check_up(route.db)
         if held_explicit:           # MySQL implicitly releases first
             self._db_explicit_unlock(held_explicit)
         for table, mode in sorted(lock_set):
@@ -518,7 +589,7 @@ class SimulatedSite:
                 yield from safe_acquire_read(lock)
             self.db_lock_wait_time += self.sim.now - waited_from
             held_explicit[table] = mode
-        yield from self.db.cpu.execute(self.costs.db_lock_statement_cpu)
+        yield from route.db.cpu.execute(self.costs.db_lock_statement_cpu)
 
     def _db_explicit_unlock(self, held_explicit):
         for table, mode in list(held_explicit.items()):
@@ -529,12 +600,12 @@ class SimulatedSite:
                 lock.release_read()
         held_explicit.clear()
 
-    def _sync_acquire(self, lock_set, held_sync, rng, key_draws,
+    def _sync_acquire(self, lock_set, held_sync, rng, key_draws, route,
                       rc=None, label=""):
         """Take container locks; placeholder slots get fresh entity keys
         drawn from the table's key space (consistent within one
         interaction, independent across interactions)."""
-        gen = self.gen
+        gen = route.gen
         resolved = []
         table_granularity = self.costs.sync_lock_granularity == "table"
         for table, slot, mode in lock_set:
@@ -555,7 +626,7 @@ class SimulatedSite:
         resolved = list(merged.items())
         for name, mode in sorted(resolved):
             yield from gen.cpu.execute(self.servlet_costs.per_sync_lock)
-            lock = self.sync_lock(name)
+            lock = self.sync_lock(name, route)
             waited_from = self.sim.now
             if rc is not None:
                 yield from traced_acquire_lock(lock, mode, rc, lock.name,
@@ -565,11 +636,11 @@ class SimulatedSite:
             else:
                 yield from safe_acquire_read(lock)
             self.sync_lock_wait_time += self.sim.now - waited_from
-            held_sync.append((name, mode))
+            held_sync.append((name, mode, lock))
 
-    def _sync_release(self, names, held_sync):
-        for name, mode in list(held_sync):
-            lock = self.sync_lock(name)
+    def _sync_release(self, names, held_sync, route):
+        registry = self._sync_registry(route)
+        for name, mode, lock in list(held_sync):
             if mode == "WRITE":
                 lock.release_write()
             else:
@@ -578,14 +649,15 @@ class SimulatedSite:
             # registry does not accumulate one lock per random key.
             if "#" in name and not lock.writer and not lock.readers \
                     and not lock.waiting_writers and not lock.waiting_readers:
-                self._sync_locks.pop(name, None)
+                registry.pop(name, None)
         held_sync.clear()
 
-    def _rmi_crossing(self, request_bytes, reply_bytes, rc=None, label=""):
+    def _rmi_crossing(self, request_bytes, reply_bytes, route,
+                      rc=None, label=""):
         """Servlet <-> EJB server round trip for one façade call."""
         rmi = self.rmi_costs
-        servlet = self.gen
-        ejb = self.ejb
+        servlet = route.gen
+        ejb = route.ejb
         if self.down:
             self._check_up(ejb)
         span = rc.push("rmi", "rmi", ejb.name,
@@ -607,16 +679,17 @@ class SimulatedSite:
             if span is not None:
                 rc.pop(span)
 
-    def _ejb_work(self, loads, stores, fields, rc=None, label=""):
+    def _ejb_work(self, loads, stores, fields, route, rc=None, label=""):
         k = self.ejb_costs
+        ejb = route.ejb
         queries = 0  # driver costs are charged per query step
         cpu = (k.per_method + loads * k.per_entity_load +
                stores * k.per_entity_store + fields * k.per_field_access)
-        span = rc.push("ejb.work", "ejb", self.ejb.name,
+        span = rc.push("ejb.work", "ejb", ejb.name,
                        meta={"origin": label} if label else None) \
             if rc is not None else None
         try:
-            yield from self.ejb.cpu.execute(cpu)
+            yield from ejb.cpu.execute(cpu)
         finally:
             if span is not None:
                 rc.pop(span)

@@ -19,6 +19,7 @@ SPAN_HTTP = "web.http"                # request handling + SSL
 SPAN_REPLY = "web.reply"              # response + embedded images
 SPAN_AJP_REQUEST = "ajp.request"      # web -> container crossing
 SPAN_AJP_REPLY = "ajp.reply"          # container -> web crossing
+SPAN_LB_ROUTE = "lb.route"            # balancer pick (zero duration)
 
 
 @dataclass(frozen=True)

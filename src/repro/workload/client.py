@@ -153,6 +153,10 @@ class ClientPopulation:
         think_mean = self.think.think_mean
         session_mean = self.think.session_mean
         retry = self.retry
+        # Session-end hook: clustered sites drop the session's sticky
+        # balancer bindings here (duck-typed so bare test doubles with
+        # only perform()/new_session() keep working).
+        end_session = getattr(self.site, "end_session", None)
         try:
             # Stagger arrivals over one mean think time to avoid a
             # thundering herd at t=0.
@@ -175,6 +179,8 @@ class ClientPopulation:
                     if ok and self.recording:
                         self.stats.record(name, sim.now - started)
                     yield rng.expovariate(1.0 / think_mean)
+                if end_session is not None:
+                    end_session(client_id)
         except Interrupt:
             # stop() tears the population down at end of run.
             return
