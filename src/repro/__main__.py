@@ -18,6 +18,9 @@ bboard [--full] [--jobs N]
 faults [...]         crash/restart one tier mid-run, report availability
 scale [...]          scale-out experiment: peak throughput vs database
                      read replicas (repro.cluster)
+slo [...]            open-loop overload experiment: offered-load sweep
+                     through saturation + flash-crowd/crash chaos run
+                     (repro.overload)
 perf [...]           time a bench grid serial vs parallel; write
                      BENCH_perf.json
 version              print the package version
@@ -143,6 +146,20 @@ def _cmd_scale(args) -> int:
                  replica_counts=(tuple(args.replicas)
                                  if args.replicas else None),
                  seed=args.seed, jobs=args.jobs, trace=args.trace))
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    configurations = tuple(args.config) if args.config else None
+    if _reject_unknown_configs(configurations):
+        return 2
+    from repro.experiments.ext_slo import render
+    mix_name = args.mix or {"bookstore": "shopping", "auction": "bidding",
+                            "bboard": "submission"}[args.app]
+    print(render(scale=args.scale, app_name=args.app, mix_name=mix_name,
+                 seed=args.seed, jobs=args.jobs,
+                 configurations=configurations,
+                 chaos=not args.no_chaos, sweep=not args.chaos_only))
     return 0
 
 
@@ -272,6 +289,27 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--seed", type=int, default=42)
     add_jobs_argument(scale)
     scale.set_defaults(func=_cmd_scale)
+
+    slo = sub.add_parser(
+        "slo", help="open-loop overload experiment: goodput/latency vs "
+                    "offered load through saturation, plus a flash-"
+                    "crowd + replica-crash chaos run")
+    slo.add_argument("--scale", default="tiny",
+                     choices=("tiny", "quick", "full"))
+    slo.add_argument("--app", default="bookstore",
+                     choices=("bookstore", "auction", "bboard"))
+    slo.add_argument("--mix", default=None,
+                     help="workload mix (default: app's headline mix)")
+    slo.add_argument("--seed", type=int, default=42)
+    slo.add_argument("--config", action="append", metavar="NAME",
+                     help="restrict the sweep to one configuration "
+                          "(repeatable; default: all six)")
+    slo.add_argument("--no-chaos", action="store_true",
+                     help="skip the flash-crowd + crash scenario")
+    slo.add_argument("--chaos-only", action="store_true",
+                     help="run only the chaos scenario")
+    add_jobs_argument(slo)
+    slo.set_defaults(func=_cmd_slo)
 
     perf = sub.add_parser(
         "perf", help="time one figure's bench grid serial vs parallel "

@@ -103,6 +103,7 @@ def run_failover_point(config, profile, mix, ssl_interactions,
     sampler.start()
     sim.run(until=fault_end + scale.post)
     stats = population.end_measurement()
+    sampler.flush()
 
     return summarize_failover(config.name, tier, sampler.windows,
                               fault_start, fault_end, stats,

@@ -8,6 +8,8 @@ the simulator's happy path is byte-for-byte the steady-state benchmark.
 
 from repro.faults.errors import (
     AdmissionReject,
+    BackpressureError,
+    CircuitOpenError,
     RequestError,
     TierDown,
     TransientDbError,
@@ -17,6 +19,8 @@ from repro.faults.plan import EMPTY_PLAN, KINDS, TIERS, FaultEvent, FaultPlan
 
 __all__ = [
     "AdmissionReject",
+    "BackpressureError",
+    "CircuitOpenError",
     "RequestError",
     "TierDown",
     "TransientDbError",

@@ -31,3 +31,21 @@ class TransientDbError(RequestError):
 class AdmissionReject(RequestError):
     """Load shedding: the web server's accept queue is past its bound,
     the request got a fast 503 instead of queueing unboundedly."""
+
+
+class BackpressureError(AdmissionReject):
+    """A bounded downstream queue (servlet container backlog, database
+    connection gate) is full: the request is turned away with a fast 5xx
+    *before* it can pile onto the saturated tier.  Subclasses
+    :class:`AdmissionReject` so clients account it as a rejection."""
+
+    def __init__(self, tier: str):
+        super().__init__(f"tier {tier!r} backlog full")
+        self.tier = tier
+
+
+class CircuitOpenError(TransientDbError):
+    """The database circuit breaker is open: the call fails fast without
+    touching the database.  Subclasses :class:`TransientDbError` because
+    to the caller it is exactly a transient database failure -- retry
+    after backoff (by which time the breaker may have closed)."""

@@ -117,6 +117,13 @@ class FaultPlan:
         """
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
+        if mtbf <= 0:
+            raise ValueError(f"mtbf must be positive, got {mtbf}")
+        if mttr <= 0:
+            raise ValueError(f"mttr must be positive, got {mttr}")
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1 (or None for "
+                             f"unbounded), got {max_events}")
         events = []
         for tier in tiers:
             t = rng.expovariate(1.0 / mtbf)

@@ -65,6 +65,18 @@ class ExperimentSpec:
     # point carries a ``bottleneck`` verdict and a ``tracer`` attribute
     # holding the full span aggregates.
     trace: bool = False
+    # Overload resilience (repro.overload), all opt-in and typed loosely
+    # so the package is only imported when actually used:
+    # ``overload`` -- an OverloadSpec switches the run to the open-loop
+    # population (session arrivals instead of a fixed client count;
+    # ``clients`` is then ignored); ``degradation`` -- a
+    # DegradationPolicy installs bounded tier queues, the DB circuit
+    # breaker and priority shedding on the site (works for closed-loop
+    # runs too); ``slo`` -- an SloSpec for the windowed SLO series
+    # (open-loop runs default to SloSpec() when unset).
+    overload: Optional[object] = None
+    degradation: Optional[object] = None
+    slo: Optional[object] = None
 
     def scaled(self, factor: float) -> "ExperimentSpec":
         """Shrink/grow phase durations (benches use factor < 1)."""
@@ -83,13 +95,21 @@ def build_site(sim: Simulator, spec: ExperimentSpec) -> SimulatedSite:
                   web_config=spec.web_config)
     if getattr(spec.config, "cluster", None) is not None:
         from repro.cluster.site import ClusteredSite
-        return ClusteredSite(sim, spec.config, spec.profile,
+        site = ClusteredSite(sim, spec.config, spec.profile,
                              rng=RngStreams(spec.seed), **kwargs)
-    return SimulatedSite(sim, spec.config, spec.profile, **kwargs)
+    else:
+        site = SimulatedSite(sim, spec.config, spec.profile, **kwargs)
+    if spec.degradation is not None:
+        from repro.overload.degradation import install_degradation
+        install_degradation(site, spec.degradation)
+    return site
 
 
 def run_experiment(spec: ExperimentSpec) -> ThroughputPoint:
     """Run one point and report its throughput + peak-window CPU."""
+    if spec.overload is not None:
+        from repro.overload.runner import run_open_loop
+        return run_open_loop(spec)
     sim = Simulator()
     site = build_site(sim, spec)
     tracer = None

@@ -10,8 +10,19 @@ from repro.metrics.availability import (
 )
 from repro.metrics.sampler import MachineSample, SysstatSampler
 from repro.metrics.report import CpuUtilization, ExperimentReport, ThroughputPoint
+from repro.metrics.slo import (
+    SloSeries,
+    SloSpec,
+    SloSummary,
+    SloWindow,
+    select_stable_windows,
+    summarize_slo,
+    time_to_recover,
+)
 
 __all__ = ["SysstatSampler", "MachineSample", "ExperimentReport",
            "CpuUtilization", "ThroughputPoint", "AvailabilitySampler",
            "AvailabilityWindow", "FailoverReport", "FailoverSummary",
-           "summarize_failover"]
+           "summarize_failover", "SloSpec", "SloWindow", "SloSeries",
+           "SloSummary", "select_stable_windows", "summarize_slo",
+           "time_to_recover"]

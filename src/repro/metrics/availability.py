@@ -75,14 +75,30 @@ class AvailabilitySampler:
     def _run(self):
         while True:
             yield self.interval
-            now = self._snapshot()
-            last = self._last
-            self.windows.append(AvailabilityWindow(
-                start=last[0], end=now[0],
-                completions=now[1] - last[1], timeouts=now[2] - last[2],
-                aborts=now[3] - last[3], rejections=now[4] - last[4],
-                retries=now[5] - last[5]))
-            self._last = now
+            self._close_window()
+
+    def _close_window(self) -> None:
+        now = self._snapshot()
+        last = self._last
+        self.windows.append(AvailabilityWindow(
+            start=last[0], end=now[0],
+            completions=now[1] - last[1], timeouts=now[2] - last[2],
+            aborts=now[3] - last[3], rejections=now[4] - last[4],
+            retries=now[5] - last[5]))
+        self._last = now
+
+    def flush(self) -> None:
+        """Close the partial window between the last sample and now.
+
+        Runs shorter than one interval -- or whose measurement ends
+        mid-window -- would otherwise drop the tail silently.  Call at
+        end of measurement, before summarizing.  A zero-length tail
+        (measurement ended exactly on a sample) is not recorded.
+        """
+        if self._last is None:
+            return
+        if self.sim.now > self._last[0]:
+            self._close_window()
 
 
 @dataclass

@@ -31,6 +31,9 @@ class EjbCosts:
     per_field_access: float = 6.0e-6  # accessor indirection
     per_query_call: float = 0.10e-3   # pooled prepared-statement JDBC call
     per_output_byte: float = 40.0e-9
+    # Fast busy rejection when the container backlog (repro.overload
+    # backpressure) is full.
+    per_busy_reject: float = 0.08e-3
 
 
 class EjbContainer:

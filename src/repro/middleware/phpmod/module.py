@@ -32,6 +32,9 @@ class PhpCosts:
     per_request: float = 3.5e-3       # interpreter startup + script parse
     per_query_call: float = 0.12e-3   # native driver call
     per_output_byte: float = 120.0e-9  # interpreted string assembly
+    # Serving the degraded/static fallback page under load shedding
+    # (repro.overload): no script parse, no database work.
+    per_degraded_script: float = 0.25e-3
 
 
 @dataclass

@@ -32,6 +32,9 @@ class ServletCosts:
     per_output_byte: float = 250.0e-9  # string building + encoding
     # Container sync locking is cheap (in-process monitor):
     per_sync_lock: float = 0.02e-3
+    # Turning a request away because the container's bounded backlog is
+    # full (repro.overload backpressure): build and send a busy page.
+    per_busy_reject: float = 0.08e-3
 
 
 class ServletEngine:

@@ -31,6 +31,11 @@ NIC_SATURATION = 0.85
 # Below CPU/NIC saturation, lock waits dominate once they exceed this
 # share of the mean request's critical path.
 LOCK_DOMINANCE = 0.35
+# Overload: time spent waiting in admission/backpressure queues (the
+# accept queue, the repro.overload tier gates) dominating the critical
+# path without any tier's CPU saturated -- the signature of a bounded
+# queue holding the line for a slow stage behind it.
+QUEUE_DOMINANCE = 0.50
 
 
 @dataclass
@@ -58,7 +63,8 @@ class BottleneckReport:
     lock_sites: List[LockSite] = field(default_factory=list)
     web_nic_utilization: Optional[float] = None
     # The verdict: kind in {"cpu", "network", "db-locks", "sync-locks",
-    # "unsaturated"}, tier names the limiting machine, share quantifies it.
+    # "overload-queue", "unsaturated"}, tier names the limiting machine,
+    # share quantifies it.
     bottleneck_kind: str = "unsaturated"
     bottleneck_tier: str = "-"
     bottleneck_share: float = 0.0
@@ -74,6 +80,9 @@ class BottleneckReport:
                     f"{100 * self.bottleneck_share:.0f}%")
         if self.bottleneck_kind in ("db-locks", "sync-locks"):
             return (f"{self.bottleneck_kind} "
+                    f"{100 * self.bottleneck_share:.0f}% of request time")
+        if self.bottleneck_kind == "overload-queue":
+            return (f"overload queueing at {self.bottleneck_tier} "
                     f"{100 * self.bottleneck_share:.0f}% of request time")
         return (f"unsaturated (max {self.bottleneck_tier} cpu "
                 f"{100 * self.bottleneck_share:.0f}%)")
@@ -142,6 +151,20 @@ def _identify(report: BottleneckReport) -> None:
         report.bottleneck_tier = "web"
         report.bottleneck_share = nic
         return
+    total_path = sum(report.breakdown.values())
+    if total_path > 0.0:
+        queue_by_tier: Dict[str, float] = {}
+        for (tier, category), seconds in report.breakdown.items():
+            if category == "queue":
+                queue_by_tier[tier] = queue_by_tier.get(tier, 0.0) + seconds
+        if queue_by_tier:
+            tier, waited = max(queue_by_tier.items(), key=lambda kv: kv[1])
+            share = waited / total_path
+            if share >= QUEUE_DOMINANCE:
+                report.bottleneck_kind = "overload-queue"
+                report.bottleneck_tier = tier
+                report.bottleneck_share = share
+                return
     db_lock_share = report.lock_wait_share("db.")
     sync_lock_share = report.lock_wait_share("sync.")
     if max(db_lock_share, sync_lock_share) >= LOCK_DOMINANCE:

@@ -20,6 +20,7 @@ SPAN_REPLY = "web.reply"              # response + embedded images
 SPAN_AJP_REQUEST = "ajp.request"      # web -> container crossing
 SPAN_AJP_REPLY = "ajp.reply"          # container -> web crossing
 SPAN_LB_ROUTE = "lb.route"            # balancer pick (zero duration)
+SPAN_DEGRADED = "web.degraded"        # degraded/static response under shed
 
 
 @dataclass(frozen=True)
@@ -44,3 +45,9 @@ class WebServerConfig:
     # SSL is enabled in the paper's Apache build; purchases interactions
     # use it. Extra per-secure-request cost:
     per_ssl_request_cpu: float = 1.2e-3
+    # Degraded/static fallback page served when the overload layer
+    # (repro.overload) sheds a browse-class interaction: a cached page,
+    # no container or database work.  Unused unless degradation is
+    # installed.
+    per_degraded_cpu: float = 0.15e-3
+    degraded_response_bytes: int = 2048

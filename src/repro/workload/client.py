@@ -32,6 +32,14 @@ class ThinkTimeSpec:
     think_mean: float = 7.0
     session_mean: float = 900.0
 
+    def __post_init__(self):
+        if self.think_mean <= 0:
+            raise ValueError(f"think_mean must be positive, "
+                             f"got {self.think_mean}")
+        if self.session_mean <= 0:
+            raise ValueError(f"session_mean must be positive, "
+                             f"got {self.session_mean}")
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -55,6 +63,27 @@ class RetryPolicy:
     # Total retries one session may spend before failures are abandoned
     # immediately (a dead site must not be retried forever).
     retry_budget: int = 50
+
+    def __post_init__(self):
+        # A nonsense policy must fail here, loudly, not produce a silent
+        # no-retry (or retry-forever) schedule deep inside a run.
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive (or None to "
+                             f"disable), got {self.deadline}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, "
+                             f"got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, "
+                             f"got {self.backoff_base}")
+        if self.backoff_cap < 0:
+            raise ValueError(f"backoff_cap must be >= 0, "
+                             f"got {self.backoff_cap}")
+        if self.retry_budget < 1:
+            raise ValueError(f"retry_budget must be >= 1 (a zero budget "
+                             f"silently disables every retry; use "
+                             f"max_retries=0 for that), "
+                             f"got {self.retry_budget}")
 
 
 @dataclass

@@ -1,0 +1,361 @@
+"""Windowed SLO metrics, the availability-sampler tail fix, and
+construction-time validation of the resilience knobs."""
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.metrics.availability import AvailabilitySampler
+from repro.metrics.slo import (
+    SloSeries,
+    SloSpec,
+    SloWindow,
+    percentile,
+    select_stable_windows,
+    summarize_slo,
+    time_to_recover,
+)
+from repro.sim import Simulator
+
+
+class _Clock:
+    """Minimal stand-in for a Simulator: just a settable ``now``."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+# -- percentile ---------------------------------------------------------------
+
+def test_percentile_nearest_rank():
+    assert percentile([], 0.95) is None
+    assert percentile([3.0], 0.5) == 3.0
+    samples = [float(i) for i in range(1, 101)]   # 1..100
+    random.Random(1).shuffle(samples)
+    assert percentile(samples, 0.50) == 50.0
+    assert percentile(samples, 0.95) == 95.0
+    assert percentile(samples, 0.99) == 99.0
+
+
+# -- SloSpec ------------------------------------------------------------------
+
+@pytest.mark.parametrize("kwargs", [
+    dict(latency_bound=0.0), dict(latency_bound=-1.0),
+    dict(percentile=0.0), dict(percentile=1.0), dict(window=0.0),
+])
+def test_slo_spec_validation(kwargs):
+    with pytest.raises(ValueError):
+        SloSpec(**kwargs)
+
+
+# -- SloSeries windowing ------------------------------------------------------
+
+def test_series_files_samples_by_window():
+    clock = _Clock()
+    series = SloSeries(clock, SloSpec(window=1.0))
+    series.start()
+    clock.now = 0.2
+    series.record_arrival()
+    series.record(0.1)
+    clock.now = 0.9
+    series.record(0.3)
+    clock.now = 2.5
+    series.record_arrival()
+    series.record_error()
+    windows = series.windows()
+    assert [w.index for w in windows] == [0, 1, 2]
+    assert windows[0].completions == 2
+    assert windows[0].arrivals == 1
+    assert (windows[0].start, windows[0].end) == (0.0, 1.0)
+    # The untouched middle window is materialized empty and sealed.
+    assert windows[1].completions == 0
+    assert windows[1].arrivals == 0
+    assert windows[2].errors == 1
+    assert windows[2].arrivals == 1
+    assert windows[0].throughput == pytest.approx(2.0)
+    assert windows[0].offered == pytest.approx(1.0)
+
+
+def test_series_origin_anchors_window_zero():
+    clock = _Clock(now=100.0)
+    series = SloSeries(clock, SloSpec(window=2.0))
+    series.start()
+    clock.now = 101.9
+    series.record(0.5)
+    clock.now = 102.1
+    series.record(0.5)
+    windows = series.windows()
+    assert [w.index for w in windows] == [0, 1]
+    assert (windows[0].start, windows[0].end) == (100.0, 102.0)
+    assert windows[0].completions == 1
+    assert windows[1].completions == 1
+
+
+def test_series_empty_and_unstarted_are_safe():
+    series = SloSeries(_Clock(), SloSpec())
+    assert series.windows() == []
+    # Recording before start() anchors at t=0 instead of crashing.
+    clock = _Clock(now=3.5)
+    series = SloSeries(clock, SloSpec(window=1.0))
+    series.record(0.2)
+    assert [w.index for w in series.windows()] == [0, 1, 2, 3]
+
+
+def test_series_never_schedules_events():
+    sim = Simulator()
+    series = SloSeries(sim, SloSpec())
+    series.start()
+    series.record_arrival()
+    series.record(0.1)
+    series.record_error()
+    series.windows()
+    assert sim.quiescent()
+    assert sim.events_processed == 0
+
+
+# -- SloWindow.violates -------------------------------------------------------
+
+def test_empty_window_violates_only_under_offered_load():
+    spec = SloSpec(latency_bound=2.0, percentile=0.95)
+    idle = SloWindow(index=0, start=0, end=1)
+    assert not idle.violates(spec)
+    starved = SloWindow(index=0, start=0, end=1, arrivals=3)
+    assert starved.violates(spec)
+    erroring = SloWindow(index=0, start=0, end=1, errors=1)
+    assert erroring.violates(spec)
+
+
+def test_violates_checks_percentile_raw_and_sealed():
+    spec = SloSpec(latency_bound=2.0, percentile=0.95)
+    good = SloWindow(index=0, start=0, end=1, completions=20,
+                     latencies=[0.1] * 19 + [5.0])
+    # p95 of 19x0.1 + one 5.0 is 0.1: one straggler doesn't violate.
+    assert not good.violates(spec)
+    bad = SloWindow(index=0, start=0, end=1, completions=20,
+                    latencies=[3.0] * 20)
+    assert bad.violates(spec)
+    # Sealing drops the raw samples; the digest keeps the verdict.
+    good.seal()
+    bad.seal()
+    assert good.latencies == [] and bad.latencies == []
+    assert not good.violates(spec)
+    assert bad.violates(spec)
+
+
+# -- select_stable_windows ----------------------------------------------------
+
+def _window_run(n, width=1.0):
+    return [SloWindow(index=i, start=i * width, end=(i + 1) * width,
+                      completions=1, latencies=[0.1])
+            for i in range(n)]
+
+
+def test_select_stable_windows_drops_warmup_and_partial_tail():
+    windows = _window_run(10)
+    stable = select_stable_windows(windows, warmup=2, horizon=9.5)
+    # Warmup windows 0-1 gone; window [9, 10) extends past the 9.5
+    # horizon so it is partial and dropped too.
+    assert [w.index for w in stable] == [2, 3, 4, 5, 6, 7, 8]
+    aligned = select_stable_windows(windows, warmup=0, horizon=10.0)
+    assert [w.index for w in aligned] == list(range(10))
+    kept = select_stable_windows(windows, warmup=0, horizon=9.5,
+                                 drop_last_partial=False)
+    assert [w.index for w in kept] == list(range(10))
+    assert select_stable_windows([], warmup=3) == []
+    with pytest.raises(ValueError):
+        select_stable_windows(windows, warmup=-1)
+
+
+# -- summarize_slo ------------------------------------------------------------
+
+def test_summarize_slo_raw_samples():
+    spec = SloSpec(latency_bound=1.0, percentile=0.95)
+    windows = [
+        SloWindow(index=0, start=0, end=1, completions=4, arrivals=5,
+                  latencies=[0.1, 0.2, 0.3, 0.4]),
+        SloWindow(index=1, start=1, end=2, completions=2, arrivals=2,
+                  errors=1, latencies=[2.0, 3.0]),
+    ]
+    summary = summarize_slo(windows, spec)
+    assert summary.windows_total == 2
+    assert summary.windows_violating == 1
+    assert summary.violation_fraction == pytest.approx(0.5)
+    assert summary.compliant_fraction == pytest.approx(0.5)
+    assert summary.offered_per_s == pytest.approx(3.5)
+    assert summary.goodput_per_s == pytest.approx(3.0)
+    assert summary.error_per_s == pytest.approx(0.5)
+    assert summary.p50 == 0.3
+    # Nearest-rank over the 6 pooled samples: rank int(0.95*6)=5 -> 2.0.
+    assert summary.p95 == 2.0
+
+
+def test_summarize_slo_sealed_falls_back_to_weighted_digest():
+    spec = SloSpec()
+    one = SloWindow(index=0, start=0, end=1, completions=1,
+                    latencies=[1.0])
+    three = SloWindow(index=1, start=1, end=2, completions=3,
+                      latencies=[2.0, 2.0, 2.0])
+    one.seal()
+    three.seal()
+    summary = summarize_slo([one, three], spec)
+    # Completions-weighted: (1*1.0 + 3*2.0) / 4.
+    assert summary.p50 == pytest.approx(1.75)
+    empty = summarize_slo([], spec)
+    assert empty.windows_total == 0
+    assert empty.violation_fraction == 0.0
+    assert empty.goodput_per_s == 0.0
+    assert empty.p95 is None
+
+
+# -- time_to_recover ----------------------------------------------------------
+
+def _recovery_series(violating_until):
+    windows = []
+    for i in range(12):
+        bad = i < violating_until
+        windows.append(SloWindow(
+            index=i, start=float(i), end=float(i + 1), completions=5,
+            latencies=[5.0] * 5 if bad else [0.1] * 5))
+    return windows
+
+
+def test_time_to_recover_finds_first_settled_run():
+    spec = SloSpec(latency_bound=2.0, percentile=0.95)
+    windows = _recovery_series(violating_until=6)
+    # Disturbance ends at t=4; windows 6,7,8 are the first 3-window
+    # compliant run, starting at t=6.
+    assert time_to_recover(windows, spec, disturbance_end=4.0,
+                           settle=3) == pytest.approx(2.0)
+    # Recovery at the disturbance edge clamps to zero.
+    assert time_to_recover(windows, spec, disturbance_end=7.0,
+                           settle=3) == pytest.approx(0.0)
+
+
+def test_time_to_recover_never_settles():
+    spec = SloSpec(latency_bound=2.0, percentile=0.95)
+    windows = _recovery_series(violating_until=12)
+    assert time_to_recover(windows, spec, disturbance_end=2.0) is None
+    with pytest.raises(ValueError):
+        time_to_recover(windows, spec, disturbance_end=2.0, settle=0)
+
+
+def test_time_to_recover_ignores_pre_disturbance_compliance():
+    spec = SloSpec(latency_bound=2.0, percentile=0.95)
+    # Compliant early, violating through the disturbance, never recovers.
+    windows = _recovery_series(violating_until=0)
+    for w in windows[4:]:
+        w.latencies = [5.0] * 5
+    assert time_to_recover(windows, spec, disturbance_end=4.0) is None
+
+
+# -- AvailabilitySampler.flush (the tail-window fix) --------------------------
+
+@dataclass
+class _Counters:
+    interactions_completed: int = 0
+    timeouts: int = 0
+    aborts: int = 0
+    rejections: int = 0
+    retries: int = 0
+
+
+class _StubPopulation:
+    def __init__(self):
+        self.stats = _Counters()
+
+
+def test_flush_captures_run_shorter_than_one_interval():
+    sim = Simulator()
+    population = _StubPopulation()
+    sampler = AvailabilitySampler(sim, population, interval=10.0)
+    sampler.start()
+    population.stats.interactions_completed = 7
+    sim.run(until=4.0)
+    assert sampler.windows == []          # no full interval elapsed
+    sampler.flush()
+    assert len(sampler.windows) == 1
+    tail = sampler.windows[0]
+    assert (tail.start, tail.end) == (0.0, 4.0)
+    assert tail.completions == 7
+    assert tail.goodput_ipm == pytest.approx(7 * 60.0 / 4.0)
+
+
+def test_flush_captures_partial_tail_after_full_windows():
+    sim = Simulator()
+    population = _StubPopulation()
+    sampler = AvailabilitySampler(sim, population, interval=5.0)
+    sampler.start()
+    population.stats.interactions_completed = 10
+    sim.run(until=5.0)
+    population.stats.interactions_completed = 14
+    population.stats.rejections = 2
+    sim.run(until=8.0)
+    sampler.flush()
+    assert len(sampler.windows) == 2
+    assert (sampler.windows[0].start, sampler.windows[0].end) == (0.0, 5.0)
+    assert sampler.windows[0].completions == 10
+    tail = sampler.windows[1]
+    assert (tail.start, tail.end) == (5.0, 8.0)
+    assert tail.completions == 4
+    assert tail.rejections == 2
+
+
+def test_flush_skips_zero_length_tail_and_unstarted_sampler():
+    sim = Simulator()
+    population = _StubPopulation()
+    sampler = AvailabilitySampler(sim, population, interval=5.0)
+    sampler.flush()                       # never started: no-op
+    assert sampler.windows == []
+    sampler.start()
+    sim.run(until=5.0)
+    sampler.flush()                       # measurement ended on a sample
+    assert len(sampler.windows) == 1
+    assert sampler.windows[0].duration == pytest.approx(5.0)
+    # Double flush adds nothing either.
+    sampler.flush()
+    assert len(sampler.windows) == 1
+
+
+# -- construction-time validation of resilience knobs -------------------------
+
+def test_retry_policy_validation():
+    from repro.workload.client import RetryPolicy
+    RetryPolicy(deadline=None)            # None = no deadline: fine
+    RetryPolicy(deadline=2.0, max_retries=0, backoff_base=0.0,
+                backoff_cap=0.0, retry_budget=1)
+    with pytest.raises(ValueError):
+        RetryPolicy(deadline=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(deadline=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_base=-0.1)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_cap=-0.1)
+    with pytest.raises(ValueError, match="max_retries=0"):
+        RetryPolicy(retry_budget=0)
+
+
+def test_think_time_spec_validation():
+    from repro.workload.client import ThinkTimeSpec
+    with pytest.raises(ValueError):
+        ThinkTimeSpec(think_mean=0.0)
+    with pytest.raises(ValueError):
+        ThinkTimeSpec(session_mean=-1.0)
+
+
+def test_fault_plan_stochastic_validation():
+    from repro.faults import FaultPlan
+    rng = random.Random(1)
+    plan = FaultPlan.stochastic(rng, horizon=100.0, mtbf=30.0, mttr=5.0)
+    assert plan.events
+    with pytest.raises(ValueError):
+        FaultPlan.stochastic(rng, horizon=0.0)
+    with pytest.raises(ValueError):
+        FaultPlan.stochastic(rng, horizon=100.0, mtbf=0.0)
+    with pytest.raises(ValueError):
+        FaultPlan.stochastic(rng, horizon=100.0, mttr=-1.0)
+    with pytest.raises(ValueError):
+        FaultPlan.stochastic(rng, horizon=100.0, max_events=0)
